@@ -1,0 +1,47 @@
+"""Figure 8: runtime vs dimensionality on NBA-like data, Skyey vs Stellar.
+
+The paper's claim: Stellar beats Skyey at every dimensionality and the gap
+widens exponentially with d, because Skyey's cost tracks the 2^d - 1
+subspaces while Stellar's tracks the (small) seed set.
+"""
+
+import pytest
+
+from repro.baselines import skyey
+from repro.core.stellar import stellar
+
+STELLAR_DIMS = (4, 8, 12, 17)
+SKYEY_DIMS = (4, 6, 8)  # 2^d growth makes larger d a full-sweep affair
+
+
+@pytest.mark.parametrize("d", STELLAR_DIMS)
+def test_stellar_nba(benchmark, nba, d):
+    data = nba.prefix_dims(d)
+    result = benchmark(stellar, data)
+    assert result.groups
+
+
+@pytest.mark.parametrize("d", SKYEY_DIMS)
+def test_skyey_nba(benchmark, nba, d):
+    data = nba.prefix_dims(d)
+    result = benchmark.pedantic(skyey, args=(data,), rounds=1, iterations=1)
+    assert result.stats.n_subspaces_searched == (1 << d) - 1
+
+
+def test_shape_stellar_beats_skyey_at_8d(nba):
+    """The figure's qualitative claim, asserted."""
+    import time
+
+    data = nba.prefix_dims(8)
+    t0 = time.perf_counter()
+    stellar_result = stellar(data)
+    stellar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    skyey_result = skyey(data)
+    skyey_s = time.perf_counter() - t0
+    assert [g.key for g in stellar_result.groups] == [
+        g.key for g in skyey_result.groups
+    ]
+    assert skyey_s > 3 * stellar_s, (
+        f"expected Skyey ({skyey_s:.3f}s) well above Stellar ({stellar_s:.3f}s)"
+    )

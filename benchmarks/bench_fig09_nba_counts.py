@@ -1,0 +1,43 @@
+"""Figure 9: #skyline groups vs #subspace skyline objects on NBA-like data.
+
+The paper's claim: the SkyCube size explodes exponentially with d while the
+number of skyline groups grows moderately (bounded by the full-space
+skyline when decisive-subspace values are unshared) -- that ratio is the
+compression Stellar banks on.
+"""
+
+import pytest
+
+from repro.core.stellar import stellar
+from repro.cube import CompressedSkylineCube
+
+
+@pytest.mark.parametrize("d", (4, 8, 12, 17))
+def test_count_cube_sizes(benchmark, nba, d):
+    data = nba.prefix_dims(d)
+
+    def measure():
+        result = stellar(data)
+        cube = CompressedSkylineCube(data, result.groups)
+        return len(result.groups), cube.summary().n_subspace_skyline_objects
+
+    n_groups, n_objects = benchmark(measure)
+    assert n_groups <= n_objects
+
+
+def test_shape_exponential_vs_moderate(nba):
+    """Groups grow moderately; SkyCube size explodes with d."""
+    rows = []
+    for d in (4, 8, 12):
+        data = nba.prefix_dims(d)
+        result = stellar(data)
+        cube = CompressedSkylineCube(data, result.groups)
+        rows.append(
+            (d, len(result.groups), cube.summary().n_subspace_skyline_objects)
+        )
+    (_, g4, o4), (_, g8, o8), (_, g12, o12) = rows
+    # SkyCube size grows by > 4x per +4 dims; groups grow far slower.
+    assert o8 > 4 * o4 and o12 > 4 * o8
+    assert g12 <= 4 * max(g4, 1)
+    # and the compression ratio improves with dimensionality
+    assert o12 / g12 > o4 / g4

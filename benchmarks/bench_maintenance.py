@@ -1,0 +1,77 @@
+"""Update throughput of the incrementally maintained cube.
+
+Quantifies what the sound fast paths of :mod:`repro.cube.maintenance` buy
+over recompute-per-update -- the workload of the Xia & Zhang (SIGMOD 2006)
+follow-up the paper cites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Dataset
+from repro.cube import MaintainedCube
+from repro.data import generate_correlated, truncate_decimals
+
+
+def fresh_cube(n: int = 800) -> MaintainedCube:
+    base = truncate_decimals(generate_correlated(n, 4, seed=7), digits=2)
+    return MaintainedCube(Dataset.from_rows(base.tolist()))
+
+
+@pytest.fixture(scope="module")
+def interior_rows():
+    rng = np.random.default_rng(1)
+    rows = np.clip(rng.normal(0.75, 0.05, size=(64, 4)), 0, 1)
+    # keep three decimals: enough precision to avoid seed ties, so these
+    # inserts stay on the fast path
+    return np.round(rows, 3).tolist()
+
+
+@pytest.fixture(scope="module")
+def aggressive_rows():
+    rng = np.random.default_rng(2)
+    rows = np.clip(rng.normal(0.03, 0.02, size=(16, 4)), 0, 1)
+    return np.round(rows, 3).tolist()
+
+
+def test_fast_path_inserts(benchmark, interior_rows):
+    def run():
+        cube = fresh_cube()
+        for i, row in enumerate(interior_rows):
+            cube.insert(list(row), label=f"fast{i}")
+        return cube
+
+    cube = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert cube.stats.fast_inserts > len(interior_rows) * 0.8
+
+
+def test_full_recompute_inserts(benchmark, aggressive_rows):
+    def run():
+        cube = fresh_cube()
+        for i, row in enumerate(aggressive_rows):
+            cube.insert(list(row), label=f"slow{i}")
+        return cube
+
+    cube = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert cube.stats.full_inserts > 0
+
+
+def test_fast_path_dominates_throughput(interior_rows, aggressive_rows):
+    """Fast-path updates must be at least 10x cheaper than recomputes."""
+    import time
+
+    cube = fresh_cube()
+    t0 = time.perf_counter()
+    for i, row in enumerate(interior_rows):
+        cube.insert(list(row), label=f"fast{i}")
+    fast_each = (time.perf_counter() - t0) / len(interior_rows)
+    fast_count = cube.stats.fast_inserts
+
+    t0 = time.perf_counter()
+    for i, row in enumerate(aggressive_rows):
+        cube.insert(list(row), label=f"slow{i}")
+    slow_each = (time.perf_counter() - t0) / len(aggressive_rows)
+
+    assert fast_count > len(interior_rows) * 0.8
+    assert cube.stats.full_inserts > 0
+    assert slow_each > 10 * fast_each

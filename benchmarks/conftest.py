@@ -1,0 +1,32 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+These benchmarks are the per-figure *micro* harness: each file pins the
+workload of one evaluation figure at a size where a full pytest-benchmark
+run stays in seconds.  The full sweeps that regenerate the figures' series
+live in ``repro.bench`` (``python -m repro bench fig8 ...``); EXPERIMENTS.md
+records their output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import generate_nba_like, make_dataset
+
+#: Dataset sizes for the benchmark suite (kept modest on purpose).
+NBA_PLAYERS = 2_000
+SYNTH_TUPLES = 2_000
+
+
+@pytest.fixture(scope="session")
+def nba():
+    return generate_nba_like(n_players=NBA_PLAYERS, seed=20070415)
+
+
+@pytest.fixture(scope="session")
+def synthetic():
+    """One dataset per distribution at the benchmark's common size."""
+    return {
+        dist: make_dataset(dist, SYNTH_TUPLES, 4, seed=20070415)
+        for dist in ("correlated", "independent", "anticorrelated")
+    }

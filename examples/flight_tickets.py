@@ -1,0 +1,92 @@
+"""The introduction's flight-ticket scenario as a working application.
+
+A customer flying Vancouver -> Istanbul cares about price, travel time and
+the number of stops -- but different customers weigh different subsets of
+those criteria.  The compressed skyline cube answers every such customer
+from one precomputed structure:
+
+* "cheapest-and-fastest shoppers" query the (price, traveltime) subspace,
+* "comfort shoppers" add stops,
+* an airline analyst asks *why* a route is competitive: in which criteria
+  combinations does it appear in the skyline, and what is the minimal
+  combination (decisive subspace) that makes it a winner?
+
+Run with:  python examples/flight_tickets.py
+"""
+
+from repro import Dataset, stellar
+from repro.cube import CompressedSkylineCube, QueryEngine
+
+
+def build_routes() -> Dataset:
+    """A small route catalogue.  Smaller is better on every criterion."""
+    #       price  traveltime  stops
+    rows = [
+        [980.0, 14.5, 1],   # Lufthansa via FRA
+        [720.0, 18.0, 2],   # budget combo via LHR+IST
+        [980.0, 16.0, 1],   # KLM via AMS
+        [1450.0, 12.0, 0],  # direct charter
+        [720.0, 21.5, 3],   # cheapest multi-hop
+        [860.0, 14.5, 1],   # Turkish via YVR codeshare
+        [1450.0, 13.0, 1],  # premium one-stop
+        [990.0, 18.0, 2],   # dominated by several others
+    ]
+    labels = (
+        "LH-FRA", "BUDGET-LHR", "KL-AMS", "DIRECT", "MULTIHOP",
+        "TK-YVR", "PREMIUM", "SLOW-EXPENSIVE",
+    )
+    return Dataset.from_rows(
+        rows,
+        names=("price", "traveltime", "stops"),
+        directions=("min", "min", "min"),
+        labels=labels,
+    )
+
+
+def main() -> None:
+    routes = build_routes()
+    result = stellar(routes)
+    cube = CompressedSkylineCube(routes, result.groups)
+    engine = QueryEngine(cube)
+
+    print(f"{routes.n_objects} routes, {routes.n_dims} criteria; "
+          f"{len(result.groups)} skyline groups\n")
+
+    print("Customer A (price + travel time):")
+    print("  ", ", ".join(engine.skyline("price,traveltime")))
+
+    print("Customer B (price + stops):")
+    print("  ", ", ".join(engine.skyline("price,stops")))
+
+    print("Customer C (all three criteria):")
+    print("  ", ", ".join(engine.skyline("price,traveltime,stops")))
+
+    print("\nAnalyst: where is TK-YVR competitive?")
+    for subspace in engine.where_wins("TK-YVR"):
+        print("   skyline member of:", subspace)
+
+    print("\nAnalyst: why?  Its skyline-group signatures:")
+    for signature in engine.signature_of("TK-YVR"):
+        print("  ", signature)
+
+    print("\nAnalyst: drill-down from 'price' "
+          "(how does each extra criterion change the winners?)")
+    for subspace, labels in engine.drill_down("price").items():
+        print(f"   {subspace}: {', '.join(labels)}")
+
+    print("\nAnalyst: why-not queries")
+    print("  ", engine.why_not("SLOW-EXPENSIVE", "price,traveltime"))
+    print("  ", engine.why_not("TK-YVR", "price,stops"))
+
+    # Sanity: the compressed cube answers Q1 identically to a direct
+    # skyline computation on the raw data.
+    from repro.skyline import compute_skyline
+
+    mask = routes.parse_subspace("price,traveltime")
+    direct = [routes.labels[i] for i in compute_skyline(routes, mask)]
+    assert direct == engine.skyline("price,traveltime")
+    print("\ncube answers match direct skyline computation: True")
+
+
+if __name__ == "__main__":
+    main()

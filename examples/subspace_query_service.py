@@ -1,0 +1,83 @@
+"""A minimal subspace-skyline query service over a precomputed cube.
+
+Demonstrates the intended production split: an offline job computes the
+compressed cube once (Stellar) and persists it; an online service loads
+the cube and answers the paper's three query families with microsecond
+latency and **zero** skyline computation.
+
+Commands (one per line on stdin):
+
+    skyline <subspace>        e.g.  skyline price,stops
+    wins <label>              subspaces where the object is a skyline member
+    top <k>                   top-k objects by number of subspaces won
+    groups <label>            signatures of the object's skyline groups
+    quit
+
+Run interactively:   python examples/subspace_query_service.py
+Or scripted:         printf 'skyline price\ntop 3\nquit\n' | python examples/subspace_query_service.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Dataset
+from repro.cube import CompressedSkylineCube, QueryEngine, load_cube, save_cube
+
+
+def build_catalog() -> Dataset:
+    """The flight-route catalogue (see examples/flight_tickets.py)."""
+    rows = [
+        [980.0, 14.5, 1], [720.0, 18.0, 2], [980.0, 16.0, 1],
+        [1450.0, 12.0, 0], [720.0, 21.5, 3], [860.0, 14.5, 1],
+        [1450.0, 13.0, 1], [990.0, 18.0, 2],
+    ]
+    labels = ("LH-FRA", "BUDGET-LHR", "KL-AMS", "DIRECT", "MULTIHOP",
+              "TK-YVR", "PREMIUM", "SLOW-EXPENSIVE")
+    return Dataset.from_rows(
+        rows, names=("price", "traveltime", "stops"),
+        directions=("min", "min", "min"), labels=labels,
+    )
+
+
+def main() -> None:
+    dataset = build_catalog()
+
+    # --- offline: compute once, persist -------------------------------
+    cube_path = Path(tempfile.gettempdir()) / "routes.cube.json"
+    save_cube(CompressedSkylineCube.build(dataset), cube_path)
+    print(f"[offline] cube persisted to {cube_path}")
+
+    # --- online: load and serve ----------------------------------------
+    engine = QueryEngine(load_cube(cube_path, dataset))
+    print(f"[online] serving {dataset.n_objects} routes, "
+          f"{len(engine.cube.groups)} skyline groups; "
+          "commands: skyline/wins/top/groups/quit")
+
+    for line in sys.stdin:
+        parts = line.strip().split(None, 1)
+        if not parts:
+            continue
+        command, arg = parts[0].lower(), parts[1] if len(parts) > 1 else ""
+        try:
+            if command == "quit":
+                break
+            elif command == "skyline":
+                print("  " + ", ".join(engine.skyline(arg)))
+            elif command == "wins":
+                print("  " + "; ".join(engine.where_wins(arg)) or "  (nowhere)")
+            elif command == "top":
+                for obj, count in engine.cube.top_frequent(int(arg)):
+                    print(f"  {dataset.labels[obj]}: wins in {count} subspaces")
+            elif command == "groups":
+                for signature in engine.signature_of(arg):
+                    print("  " + signature)
+            else:
+                print(f"  unknown command {command!r}")
+        except (ValueError, KeyError) as exc:
+            print(f"  error: {exc}")
+    print("[online] bye")
+
+
+if __name__ == "__main__":
+    main()

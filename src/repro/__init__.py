@@ -1,0 +1,47 @@
+"""Stellar: compressed multidimensional skyline cubes.
+
+A faithful, self-contained reproduction of *"Computing Compressed
+Multidimensional Skyline Cubes Efficiently"* (Pei, Fu, Lin, Wang,
+ICDE 2007).
+
+Quick start
+-----------
+>>> from repro import Dataset, stellar
+>>> data = Dataset.from_rows(
+...     [[5, 6, 10, 7], [2, 6, 8, 3], [5, 4, 9, 3], [6, 4, 8, 5], [2, 4, 9, 3]],
+... )
+>>> result = stellar(data)
+>>> for group in result.groups:
+...     print(group.signature(data))        # doctest: +SKIP
+
+The public surface:
+
+* :class:`~repro.core.types.Dataset` / :class:`~repro.core.types.Direction`
+  -- the data model (per-dimension MIN/MAX preferences);
+* :func:`~repro.core.stellar.stellar` -- the paper's algorithm;
+* :func:`~repro.baselines.skyey.skyey` -- the Skyey baseline;
+* :class:`~repro.cube.compressed.CompressedSkylineCube` -- query layer over
+  the computed groups (subspace skylines, membership subspaces, OLAP);
+* :func:`~repro.skyline.compute_skyline` -- standalone skyline queries;
+* :mod:`repro.data` -- synthetic workload generators (correlated /
+  independent / anti-correlated, NBA-like).
+"""
+
+from .baselines import skyey
+from .core import Dataset, Direction, SkylineGroup, StellarResult, stellar
+from .cube import CompressedSkylineCube
+from .skyline import compute_skyline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Direction",
+    "SkylineGroup",
+    "stellar",
+    "StellarResult",
+    "skyey",
+    "compute_skyline",
+    "CompressedSkylineCube",
+    "__version__",
+]

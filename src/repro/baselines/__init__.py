@@ -1,0 +1,14 @@
+"""Baseline algorithms the paper's evaluation compares against.
+
+* :mod:`repro.baselines.skyey` -- the Skyey algorithm of Pei et al.
+  (VLDB 2005), which searches *every* non-empty subspace for its skyline and
+  assembles skyline groups from the per-subspace results.  This is the
+  competitor of every figure in the evaluation section.
+* :mod:`repro.baselines.naive_cube` -- a brute-force compressed-cube
+  construction straight from Definitions 1-2, used as the test oracle.
+"""
+
+from .naive_cube import naive_compressed_cube
+from .skyey import SkyeyResult, skyey
+
+__all__ = ["skyey", "SkyeyResult", "naive_compressed_cube"]

@@ -1,0 +1,72 @@
+"""Brute-force compressed skyline cube: the test oracle.
+
+This implementation follows Definitions 1 and 2 with no shortcuts: it
+computes the skyline of *every* non-empty subspace, groups the skyline
+objects of each subspace by their shared projection, and derives every
+skyline group's maximal subspace and decisive subspaces from those raw
+observations.  It is exponential in the dimensionality and quadratic in the
+dataset size -- exactly the cost Stellar exists to avoid -- and is used as
+the ground truth Stellar and Skyey are verified against.
+
+Two observations keep the assembly simple and definition-faithful:
+
+* In a subspace ``C``, a shared projection value is in the skyline iff all
+  of its owners are; so grouping the *skyline objects* of ``C`` by
+  projection automatically yields groups that contain **all** owners of the
+  value -- exclusivity (condition (2) of Definition 2) holds by
+  construction.
+* A subspace ``C`` is recorded under group ``G`` iff conditions (1)+(2)
+  hold for ``(G, C)``; the decisive subspaces are then precisely the
+  minimal recorded subspaces, and the maximal subspace is the mask of
+  dimensions all members share (full space for singletons).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.bitset import iter_all_subspaces, minimal_masks
+from ..core.types import Dataset, SkylineGroup, group_sort_key
+from ..core.validate import common_coincidence_mask, projection_key
+from ..skyline import compute_skyline
+
+__all__ = ["naive_compressed_cube"]
+
+
+def naive_compressed_cube(
+    dataset: Dataset, skyline_algorithm: str = "sfs"
+) -> list[SkylineGroup]:
+    """Compute all skyline groups and decisive subspaces by brute force."""
+    minimized = dataset.minimized
+    n_dims = dataset.n_dims
+    if dataset.n_objects == 0 or n_dims == 0:
+        return []
+
+    recorded: dict[frozenset[int], list[int]] = defaultdict(list)
+    for subspace in iter_all_subspaces(n_dims):
+        skyline = compute_skyline(dataset, subspace, algorithm=skyline_algorithm)
+        by_projection: dict[tuple[float, ...], list[int]] = defaultdict(list)
+        for i in skyline:
+            by_projection[projection_key(minimized, i, subspace)].append(i)
+        for members in by_projection.values():
+            recorded[frozenset(members)].append(subspace)
+
+    groups: list[SkylineGroup] = []
+    for members, subspaces in recorded.items():
+        ordered = sorted(members)
+        maximal = common_coincidence_mask(minimized, ordered)
+        # Sanity: every recorded subspace lies inside the maximal subspace,
+        # and the projection is skyline there (the propagation property of
+        # decisive subspaces proved in [Pei et al., VLDB'05]).  Violations
+        # would mean a bug in this oracle itself.
+        assert all(c & ~maximal == 0 for c in subspaces)
+        groups.append(
+            SkylineGroup(
+                members=frozenset(members),
+                subspace=maximal,
+                decisive=tuple(minimal_masks(subspaces)),
+                projection=dataset.projection(ordered[0], maximal),
+            )
+        )
+    groups.sort(key=group_sort_key)
+    return groups

@@ -1,0 +1,98 @@
+"""Rendering of benchmark results: aligned text and Markdown tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["render_table", "render_markdown", "FigureResult"]
+
+
+def _stringify(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Column-aligned plain-text table."""
+    cells = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_markdown(headers: list[str], rows: list[list[object]]) -> str:
+    """GitHub-flavoured Markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """The regenerated rows/series of one paper figure."""
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Aligned plain-text rendering with the figure's notes."""
+        parts = [f"== {self.figure}: {self.title} ==", render_table(self.headers, self.rows)]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md-style reports."""
+        parts = [
+            f"### {self.figure}: {self.title}",
+            "",
+            render_markdown(self.headers, self.rows),
+        ]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"*{note}*" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Machine-readable rendering (headers, rows, notes)."""
+        import json
+
+        return json.dumps(
+            {
+                "figure": self.figure,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=1,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write text + JSON renderings under ``directory``; return the text path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = self.figure.lower().replace(" ", "_")
+        path = directory / f"{stem}.txt"
+        path.write_text(self.to_text() + "\n")
+        (directory / f"{stem}.json").write_text(self.to_json() + "\n")
+        return path

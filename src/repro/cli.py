@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro`` / ``repro-skycube``.
+
+Subcommands
+-----------
+``generate``
+    Write a synthetic dataset (correlated / equal / anti-correlated /
+    NBA-like) to CSV.
+``run``
+    Compute the compressed skyline cube of a CSV dataset with Stellar or
+    Skyey; print signatures and statistics.
+``skyline``
+    One skyline query (full space or a named subspace) over a CSV dataset.
+``cube``
+    Precompute the compressed cube and persist it to JSON.
+``query``
+    Answer the paper's Q1/Q2 queries (plus top-k frequency) from the
+    compressed cube, optionally loading a persisted one.
+``analyze``
+    Multidimensional skyline analytics: compression summary, decisive-size
+    histogram, dimension influence, hidden gems, robust winners.
+``bench``
+    Regenerate one evaluation figure (or ``all``) at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skycube",
+        description="Compressed multidimensional skyline cubes (Stellar, ICDE 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset CSV")
+    p_gen.add_argument(
+        "--distribution",
+        default="independent",
+        help="correlated | independent/equal | anticorrelated/anti | nba",
+    )
+    p_gen.add_argument("--n", type=int, default=1000, help="number of objects")
+    p_gen.add_argument("--d", type=int, default=5, help="number of dimensions")
+    p_gen.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p_gen.add_argument(
+        "--digits", type=int, default=4, help="decimal truncation (-1 disables)"
+    )
+    p_gen.add_argument("--out", required=True, help="output CSV path")
+
+    p_run = sub.add_parser("run", help="compute the compressed skyline cube")
+    p_run.add_argument("--input", required=True, help="dataset CSV")
+    p_run.add_argument(
+        "--algorithm", default="stellar", choices=["stellar", "skyey"]
+    )
+    p_run.add_argument(
+        "--max-groups", type=int, default=50, help="signatures to print (0 = all)"
+    )
+
+    p_sky = sub.add_parser("skyline", help="one skyline query")
+    p_sky.add_argument("--input", required=True, help="dataset CSV")
+    p_sky.add_argument(
+        "--subspace", default=None, help="subspace, e.g. 'AC' or 'price,stops'"
+    )
+    p_sky.add_argument(
+        "--algorithm",
+        default="auto",
+        help="auto | brute | bnl | sfs | dc | less | bitmap | bbs | nn | numpy",
+    )
+
+    p_cube = sub.add_parser(
+        "cube", help="precompute the compressed cube and save it to JSON"
+    )
+    p_cube.add_argument("--input", required=True, help="dataset CSV")
+    p_cube.add_argument("--out", required=True, help="cube JSON path")
+    p_cube.add_argument(
+        "--algorithm", default="stellar", choices=["stellar", "skyey"]
+    )
+
+    p_query = sub.add_parser("query", help="query the compressed cube")
+    p_query.add_argument("--input", required=True, help="dataset CSV")
+    p_query.add_argument(
+        "--cube",
+        default=None,
+        help="saved cube JSON (from the `cube` subcommand); "
+        "recomputed on the fly when omitted",
+    )
+    group = p_query.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--skyline-of", metavar="SUBSPACE", help="Q1: skyline of a subspace"
+    )
+    group.add_argument(
+        "--where-wins", metavar="LABEL", help="Q2: subspaces where an object wins"
+    )
+    group.add_argument(
+        "--top-frequent",
+        metavar="K",
+        type=int,
+        help="top-K objects by number of subspaces won",
+    )
+
+    p_analyze = sub.add_parser(
+        "analyze", help="multidimensional skyline analytics over a dataset"
+    )
+    p_analyze.add_argument("--input", required=True, help="dataset CSV")
+    p_analyze.add_argument(
+        "--cube", default=None, help="saved cube JSON (recomputed if omitted)"
+    )
+    p_analyze.add_argument(
+        "--gems-min-criteria",
+        type=int,
+        default=2,
+        help="minimal combined-criteria count for the hidden-gem report",
+    )
+
+    p_bench = sub.add_parser("bench", help="regenerate evaluation figures")
+    p_bench.add_argument(
+        "figure", help="fig8 | fig9 | fig10 | fig11 | fig12 | all"
+    )
+    p_bench.add_argument(
+        "--scale", default="default", help="smoke | default | paper"
+    )
+    p_bench.add_argument(
+        "--out", default=None, help="directory to save the rendered tables"
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "run": _cmd_run,
+        "skyline": _cmd_skyline,
+        "cube": _cmd_cube,
+        "query": _cmd_query,
+        "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data import generate_nba_like, make_dataset, save_csv
+
+    if args.distribution == "nba":
+        dataset = generate_nba_like(n_players=args.n, seed=args.seed)
+    else:
+        digits = None if args.digits < 0 else args.digits
+        dataset = make_dataset(
+            args.distribution, args.n, args.d, seed=args.seed, digits=digits
+        )
+    save_csv(dataset, args.out)
+    print(
+        f"wrote {dataset.n_objects} x {dataset.n_dims} "
+        f"{args.distribution} dataset to {args.out}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .baselines import skyey
+    from .core.stellar import stellar
+    from .data import load_csv
+
+    dataset = load_csv(args.input)
+    if args.algorithm == "stellar":
+        result = stellar(dataset)
+        groups = result.groups
+        stats = result.stats
+        print(
+            f"stellar: {stats.n_seeds} seeds, "
+            f"{stats.n_maximal_cgroups} maximal c-groups, "
+            f"{stats.n_seed_groups} seed groups, {stats.n_groups} groups "
+            f"in {stats.total_seconds:.3f}s"
+        )
+    else:
+        result = skyey(dataset)
+        groups = result.groups
+        stats = result.stats
+        print(
+            f"skyey: {stats.n_subspaces_searched} subspaces searched, "
+            f"{stats.n_subspace_skyline_objects} subspace skyline objects, "
+            f"{stats.n_groups} groups in {stats.total_seconds:.3f}s"
+        )
+    limit = len(groups) if args.max_groups == 0 else args.max_groups
+    for group in groups[:limit]:
+        print(" ", group.signature(dataset))
+    if len(groups) > limit:
+        print(f"  ... and {len(groups) - limit} more groups")
+    return 0
+
+
+def _cmd_skyline(args: argparse.Namespace) -> int:
+    from .data import load_csv
+    from .skyline import compute_skyline
+
+    dataset = load_csv(args.input)
+    subspace = (
+        dataset.parse_subspace(args.subspace) if args.subspace else None
+    )
+    skyline = compute_skyline(dataset, subspace, algorithm=args.algorithm)
+    shown = (
+        dataset.format_subspace(subspace) if subspace else "full space"
+    )
+    print(f"skyline of {shown}: {len(skyline)} objects")
+    for i in skyline:
+        values = ", ".join(f"{v:g}" for v in dataset.values[i])
+        print(f"  {dataset.labels[i]}: ({values})")
+    return 0
+
+
+def _cmd_cube(args: argparse.Namespace) -> int:
+    from .cube import CompressedSkylineCube, save_cube
+    from .data import load_csv
+
+    dataset = load_csv(args.input)
+    cube = CompressedSkylineCube.build(dataset, algorithm=args.algorithm)
+    save_cube(cube, args.out)
+    print(
+        f"wrote cube with {len(cube.groups)} skyline groups "
+        f"({dataset.n_objects} objects, {dataset.n_dims} dims) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .cube import QueryEngine, load_cube
+    from .data import load_csv
+
+    dataset = load_csv(args.input)
+    if args.cube:
+        engine = QueryEngine(load_cube(args.cube, dataset))
+    else:
+        engine = QueryEngine.build(dataset)
+    if args.skyline_of:
+        for label in engine.skyline(args.skyline_of):
+            print(label)
+    elif args.where_wins:
+        for subspace in engine.where_wins(args.where_wins):
+            print(subspace)
+    else:
+        for obj, count in engine.cube.top_frequent(args.top_frequent):
+            print(f"{dataset.labels[obj]}\t{count}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .cube import (
+        CompressedSkylineCube,
+        decisive_size_histogram,
+        dimension_influence,
+        hidden_gems,
+        load_cube,
+        robust_winners,
+    )
+    from .data import load_csv
+
+    dataset = load_csv(args.input)
+    if args.cube:
+        cube = load_cube(args.cube, dataset)
+    else:
+        cube = CompressedSkylineCube.build(dataset)
+    summary = cube.summary()
+    print(
+        f"{summary.n_objects} objects, {summary.n_dims} dims, "
+        f"{summary.n_groups} skyline groups, "
+        f"{summary.n_subspace_skyline_objects} subspace skyline memberships "
+        f"(compression {summary.compression_ratio:.1f}x)"
+    )
+    print("decisive-subspace size histogram:", decisive_size_histogram(cube))
+    print("dimension influence:")
+    for name, count in dimension_influence(cube):
+        print(f"  {name}: decisive in {count} groups")
+    gems = hidden_gems(cube, min_criteria=args.gems_min_criteria)
+    print(f"hidden gems (need >= {args.gems_min_criteria} combined criteria):")
+    for obj, size in gems[:10]:
+        print(f"  {dataset.labels[obj]} (minimal winning subspace: {size} dims)")
+    if not gems:
+        print("  (none)")
+    print("robust winners (win on a single criterion):")
+    for obj, dims in robust_winners(cube)[:10]:
+        names = ", ".join(dataset.names[d] for d in dims)
+        print(f"  {dataset.labels[obj]}: {names}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import FIGURES, run_figure
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        result = run_figure(name, scale=args.scale)
+        print(result.to_text())
+        print()
+        if args.out:
+            path = result.save(Path(args.out))
+            print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Dominance and coincidence relations (Section 5.1 of the paper).
+
+For seed objects :math:`o, o'` the paper defines (Definition 4):
+
+* dominance matrix cell ``dom[o, o'] = {D : o.D < o'.D}``
+* coincidence matrix cell ``co[o, o'] = {D : o.D = o'.D}``
+
+and notes (Property 1) that the coincidence matrix is redundant:
+``co[o, o'] = D - dom[o, o'] - dom[o', o]``.  We follow the paper and store
+only dominance rows; coincidence cells are derived on demand.
+
+Cells are dimension bitmasks (see :mod:`repro.core.bitset`).  Rows are
+computed with one vectorised numpy comparison per seed and cached, which is
+what makes Stellar's "scan a row of the dominance matrix" step cheap even
+with thousands of seeds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .bitset import full_mask
+from .types import Dataset
+
+__all__ = [
+    "dominates",
+    "strictly_less_mask",
+    "equal_mask",
+    "PairwiseMatrices",
+]
+
+
+def strictly_less_mask(
+    minimized: np.ndarray, i: int, j: int, universe: int | None = None
+) -> int:
+    """Mask of dimensions where object ``i`` is strictly better than ``j``.
+
+    This is the dominance-matrix cell ``dom[i, j]`` restricted to
+    ``universe`` (defaults to the full space).
+    """
+    mask = _pack(minimized[i] < minimized[j])
+    if universe is not None:
+        mask &= universe
+    return mask
+
+
+def equal_mask(
+    minimized: np.ndarray, i: int, j: int, universe: int | None = None
+) -> int:
+    """Mask of dimensions where objects ``i`` and ``j`` coincide (``co[i, j]``)."""
+    mask = _pack(minimized[i] == minimized[j])
+    if universe is not None:
+        mask &= universe
+    return mask
+
+
+def dominates(minimized: np.ndarray, i: int, j: int, subspace: int) -> bool:
+    """True when object ``i`` dominates object ``j`` in ``subspace``.
+
+    ``i`` dominates ``j`` when ``i`` is no worse on every dimension of the
+    subspace and strictly better on at least one (Section 2).
+    """
+    worse = _pack(minimized[i] > minimized[j]) & subspace
+    if worse:
+        return False
+    better = _pack(minimized[i] < minimized[j]) & subspace
+    return better != 0
+
+
+def _pack(flags: np.ndarray) -> int:
+    """Pack a boolean vector into a dimension bitmask (bit i = flags[i])."""
+    mask = 0
+    for d in np.flatnonzero(flags):
+        mask |= 1 << int(d)
+    return mask
+
+
+class PairwiseMatrices:
+    """Lazy dominance/coincidence matrices over a subset of objects.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset.
+    indices:
+        Global object indices the matrices range over (the seeds ``F(S)`` in
+        Stellar).  Cells are addressed by *local* position within ``indices``.
+
+    The class vectorises one full matrix row per call: computing
+    ``dom[i, *]`` is a single ``(k, d)`` numpy comparison packed into ``k``
+    bitmask integers, cached afterwards.
+    """
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices: tuple[int, ...] = tuple(int(i) for i in indices)
+        self._sub = dataset.minimized[list(self.indices), :]
+        self._n_dims = dataset.n_dims
+        self._full = full_mask(self._n_dims)
+        # Bit weights for packing comparison outcomes into masks.  Use
+        # object dtype beyond 62 dimensions so Python big ints take over.
+        if self._n_dims <= 62:
+            self._pow2 = (1 << np.arange(self._n_dims, dtype=np.int64)).astype(
+                np.int64
+            )
+        else:
+            self._pow2 = np.array(
+                [1 << d for d in range(self._n_dims)], dtype=object
+            )
+        self._dom_rows: dict[int, np.ndarray] = {}
+        self._eq_rows: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def full_space(self) -> int:
+        """Mask of the full space the matrices range over."""
+        return self._full
+
+    def dom_row_array(self, i: int) -> np.ndarray:
+        """Row ``dom[i, *]`` as a packed numpy vector (local index ``i``)."""
+        row = self._dom_rows.get(i)
+        if row is None:
+            cmp = (self._sub[i] < self._sub).astype(self._pow2.dtype)
+            row = cmp @ self._pow2
+            self._dom_rows[i] = row
+        return row
+
+    def eq_row_array(self, i: int) -> np.ndarray:
+        """Row ``co[i, *]`` as a packed numpy vector (local index ``i``)."""
+        row = self._eq_rows.get(i)
+        if row is None:
+            cmp = (self._sub[i] == self._sub).astype(self._pow2.dtype)
+            row = cmp @ self._pow2
+            self._eq_rows[i] = row
+        return row
+
+    def dom_row(self, i: int) -> list[int]:
+        """Row ``dom[i, *]`` of the dominance matrix, as Python ints."""
+        return [int(x) for x in self.dom_row_array(i)]
+
+    def eq_row(self, i: int) -> list[int]:
+        """Row ``co[i, *]`` of the coincidence matrix, as Python ints."""
+        return [int(x) for x in self.eq_row_array(i)]
+
+    def dom(self, i: int, j: int) -> int:
+        """Cell ``dom[i, j]``: dimensions where seed ``i`` beats seed ``j``."""
+        return int(self.dom_row_array(i)[j])
+
+    def co(self, i: int, j: int) -> int:
+        """Cell ``co[i, j]``: dimensions where seeds ``i`` and ``j`` coincide.
+
+        Derived from dominance rows when those are already cached
+        (Property 1), otherwise computed directly.
+        """
+        if i in self._dom_rows and j in self._dom_rows:
+            return self._full & ~self.dom(i, j) & ~self.dom(j, i)
+        return int(self.eq_row_array(i)[j])
+
+    def as_dense(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Materialise both matrices (tests and small examples only)."""
+        k = len(self.indices)
+        dom = [self.dom_row(i)[:] for i in range(k)]
+        co = [[self.co(i, j) for j in range(k)] for i in range(k)]
+        return dom, co

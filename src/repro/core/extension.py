@@ -1,0 +1,251 @@
+"""Accommodating non-seed objects (Section 5.3, Theorem 5).
+
+After the seed lattice is built, one pass over the non-seed objects turns it
+into the skyline-group lattice of the whole dataset.  For a seed group
+``(G', B')`` with representative values ``G'_{B'}``, classify each non-seed
+``o`` by two masks:
+
+* ``share(o) = {D ∈ B' : o.D = G'.D}`` -- where ``o`` coincides with the
+  group, and
+* ``beat(o)  = {D ∈ B' : o.D < G'.D}`` -- where ``o`` strictly beats it.
+
+Only non-seeds with ``share ≠ ∅`` and ``beat = ∅`` are *relevant*:
+
+* if ``beat(o) ≠ ∅`` then no member of ``G'`` dominates ``o`` in the full
+  space, so some seed *outside* ``G'`` does (every non-seed is dominated by
+  a seed); that outside seed's hitting-set clause is a subset of ``o``'s,
+  which is therefore absorbed -- ``o`` can never change a decisive subspace
+  or force a split;
+* if ``share(o) = ∅`` then ``o``'s clause is all of ``B`` for any candidate
+  subspace, again absorbed.
+
+The relevant non-seeds reshape the lattice in exactly the two ways of
+Theorem 5:
+
+* ``share(o) = B'`` -- ``o`` coincides with the group on its whole maximal
+  subspace and simply joins it (Example 7's ``P3`` joining ``P4 P5``);
+* otherwise each *closed* mask ``B`` (an intersection of relevant share
+  masks) that contains some decisive subspace of the seed group spawns a
+  child group ``(G' ∪ {o : share(o) ⊇ B}, B)`` (Example 7's ``P3 P5``).
+
+A closed mask is discarded when some seed outside ``G'`` also coincides
+with the group on all of ``B``: the same child is then generated from the
+larger seed parent, keeping the output duplicate-free.
+
+Decisive subspaces of every surviving group are recomputed as minimal
+hitting sets over *both* clause families: ``B ∩ dom[rep, u]`` for outside
+seeds ``u`` and ``B − share(o)`` for relevant outside non-seeds ``o`` (the
+generalisation of Theorem 4 to the full dataset; see
+:mod:`repro.core.validate` for the proof sketch and the definitional
+cross-check).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitset import is_subset
+from .dominance import PairwiseMatrices
+from .hitting import minimal_hitting_sets
+from .seeds import SeedGroup, singleton_decisive
+from .types import Dataset, SkylineGroup
+
+__all__ = ["extend_with_nonseeds", "share_and_beat_masks", "closed_masks"]
+
+
+def share_and_beat_masks(
+    nonseed_matrix: np.ndarray,
+    rep_values: np.ndarray,
+    subspace: int,
+    pow2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``share``/``beat`` masks of every non-seed vs one group."""
+    if nonseed_matrix.shape[0] == 0:
+        empty = np.zeros(0, dtype=pow2.dtype)
+        return empty, empty
+    share = ((nonseed_matrix == rep_values).astype(pow2.dtype) @ pow2) & subspace
+    beat = ((nonseed_matrix < rep_values).astype(pow2.dtype) @ pow2) & subspace
+    return share, beat
+
+
+def closed_masks(masks: list[int]) -> set[int]:
+    """Closure of a family of masks under pairwise intersection.
+
+    The closed non-empty masks are exactly the possible maximal subspaces of
+    child groups: a child's subspace is the intersection of its members'
+    share masks, and every intersection of a subfamily is reachable by
+    pairwise steps.
+    """
+    closure = {m for m in masks if m}
+    frontier = list(closure)
+    while frontier:
+        m = frontier.pop()
+        additions = []
+        for other in closure:
+            meet = m & other
+            if meet and meet not in closure:
+                additions.append(meet)
+        for a in additions:
+            closure.add(a)
+            frontier.append(a)
+    return closure
+
+
+def _batched_share_maps(
+    minimized: np.ndarray,
+    nonseeds: list[int],
+    ns_matrix: np.ndarray,
+    seed_groups: list[SeedGroup],
+    rep_globals: list[int],
+    pow2: np.ndarray,
+) -> list[dict[int, int]]:
+    """Share masks of the *relevant* non-seeds for every seed group.
+
+    One broadcast comparison handles a whole block of groups at once; the
+    per-group Python work is proportional to the number of relevant
+    non-seeds only, which keeps the Theorem 5 pass fast even with thousands
+    of seed groups.
+    """
+    n_groups = len(seed_groups)
+    share_maps: list[dict[int, int]] = [dict() for _ in range(n_groups)]
+    m, d = ns_matrix.shape
+    if m == 0 or n_groups == 0:
+        return share_maps
+    ns_array = np.asarray(nonseeds)
+    # Bound the (block, m, d) boolean temporaries to ~32 MB apiece.
+    block = max(1, min(n_groups, 32_000_000 // max(m * d, 1)))
+    subspaces = np.array(
+        [sg.subspace for sg in seed_groups],
+        dtype=pow2.dtype if pow2.dtype != object else object,
+    )
+    for start in range(0, n_groups, block):
+        stop = min(start + block, n_groups)
+        reps = minimized[rep_globals[start:stop], :]  # (g, d)
+        eq = ns_matrix[None, :, :] == reps[:, None, :]
+        lt = ns_matrix[None, :, :] < reps[:, None, :]
+        share_blk = eq.astype(pow2.dtype) @ pow2
+        beat_blk = lt.astype(pow2.dtype) @ pow2
+        share_blk &= subspaces[start:stop, None]
+        beat_blk &= subspaces[start:stop, None]
+        relevant = (share_blk != 0) & (beat_blk == 0)
+        for gi in range(stop - start):
+            hits = np.flatnonzero(relevant[gi])
+            if hits.size:
+                row = share_blk[gi]
+                share_maps[start + gi] = {
+                    int(ns_array[j]): int(row[j]) for j in hits
+                }
+    return share_maps
+
+
+def extend_with_nonseeds(
+    dataset: Dataset,
+    matrices: PairwiseMatrices,
+    seed_groups: list[SeedGroup],
+) -> list[SkylineGroup]:
+    """Fold the non-seed objects into the seed lattice (Theorem 5).
+
+    Returns the complete set of skyline groups of the dataset, with members
+    as global indices and projections in raw (user-facing) values.
+    """
+    minimized = dataset.minimized
+    seed_set = set(matrices.indices)
+    nonseeds = [i for i in range(dataset.n_objects) if i not in seed_set]
+    ns_matrix = minimized[nonseeds, :] if nonseeds else minimized[:0, :]
+    n_dims = dataset.n_dims
+    if n_dims <= 62:
+        pow2 = (1 << np.arange(n_dims, dtype=np.int64)).astype(np.int64)
+    else:
+        pow2 = np.array([1 << d for d in range(n_dims)], dtype=object)
+
+    results: dict[tuple[tuple[int, ...], int], SkylineGroup] = {}
+    k = len(matrices)
+    rep_globals = [
+        matrices.indices[sg.representative] for sg in seed_groups
+    ]
+    share_maps = _batched_share_maps(
+        minimized, nonseeds, ns_matrix, seed_groups, rep_globals, pow2
+    )
+
+    for seed_group, rep_global, shares in zip(
+        seed_groups, rep_globals, share_maps
+    ):
+        rep_local = seed_group.representative
+        subspace = seed_group.subspace
+
+        outside = np.ones(k, dtype=bool)
+        outside[list(seed_group.local_members)] = False
+        clause_arr = matrices.dom_row_array(rep_local)[outside] & subspace
+        seed_clause_base = [int(c) for c in np.unique(clause_arr)]
+
+        # --- the seed group itself, possibly extended in place ----------
+        full_joiners = [o for o, m in shares.items() if m == subspace]
+        group = _build_group(
+            dataset,
+            rep_global,
+            members=sorted(set(seed_group.members) | set(full_joiners)),
+            subspace=subspace,
+            seed_clauses=seed_clause_base,
+            outside_shares=[m for m in shares.values() if m != subspace],
+        )
+        results.setdefault(group.key, group)
+
+        # --- child groups at the closed share masks ---------------------
+        if not shares:
+            continue
+        eq_outside = matrices.eq_row_array(rep_local)[outside]
+        for child_space in closed_masks(list(shares.values())):
+            if child_space == subspace:
+                continue
+            if not any(is_subset(c, child_space) for c in seed_group.decisive):
+                # No decisive subspace survives inside the child: some
+                # outside seed is unbeaten there, so the projection is not
+                # exclusively skyline anywhere below (Theorem 5 condition).
+                continue
+            if bool(((eq_outside & child_space) == child_space).any()):
+                # Another seed coincides on the whole child subspace: this
+                # child is generated from that larger seed parent instead.
+                continue
+            joiners = [o for o, m in shares.items() if (m & child_space) == child_space]
+            child = _build_group(
+                dataset,
+                rep_global,
+                members=sorted(set(seed_group.members) | set(joiners)),
+                subspace=child_space,
+                seed_clauses=[c & child_space for c in seed_clause_base],
+                outside_shares=[
+                    m & child_space
+                    for o, m in shares.items()
+                    if (m & child_space) != child_space
+                ],
+            )
+            results.setdefault(child.key, child)
+
+    return sorted(
+        results.values(),
+        key=lambda g: (len(g.members), tuple(sorted(g.members)), g.subspace),
+    )
+
+
+def _build_group(
+    dataset: Dataset,
+    rep_global: int,
+    members: list[int],
+    subspace: int,
+    seed_clauses: list[int],
+    outside_shares: list[int],
+) -> SkylineGroup:
+    """Assemble one skyline group, recomputing its decisive subspaces."""
+    clauses = set(seed_clauses)
+    for share in outside_shares:
+        clauses.add(subspace & ~share)
+    if clauses:
+        decisive = tuple(minimal_hitting_sets(clauses))
+    else:
+        decisive = singleton_decisive(subspace)
+    return SkylineGroup(
+        members=frozenset(members),
+        subspace=subspace,
+        decisive=decisive,
+        projection=dataset.projection(rep_global, subspace),
+    )

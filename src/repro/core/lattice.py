@@ -1,0 +1,232 @@
+"""Skyline-group lattices and the seed-quotient relation (Section 4).
+
+The paper organises skyline groups into a lattice (Figure 3): groups are
+ordered by member-set containment -- ``(G1, B1) ⊑ (G2, B2)`` iff
+``G2 ⊆ G1`` -- which automatically orders the maximal subspaces the other
+way (``B1 ⊆ B2``), because a larger group can only share fewer dimensions.
+The unit and zero elements the paper "omits in the figures" are virtual
+here too.
+
+Theorem 2 states that the *seed lattice* (skyline groups over the
+full-space skyline only) is a **quotient** of the full skyline-group
+lattice.  The witness is the map sending every group to its seed core::
+
+    φ(G, B)  =  the seed group whose members are G ∩ F(S)
+
+:func:`verify_quotient` checks the quotient properties computationally --
+φ is total and well defined (every fiber lands on exactly one seed group),
+surjective (every seed group is hit), and order-preserving -- and is what
+the Theorem 2 property tests call on random datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import Dataset, SkylineGroup
+
+__all__ = [
+    "SkylineGroupLattice",
+    "QuotientReport",
+    "quotient_map",
+    "verify_quotient",
+    "seed_groups_as_skyline_groups",
+    "verify_quotient_for",
+]
+
+
+@dataclass
+class SkylineGroupLattice:
+    """Hasse diagram over a set of skyline groups.
+
+    Attributes
+    ----------
+    groups:
+        The lattice nodes, in the deterministic library order.
+    parents / children:
+        Covering edges by node position: ``parents[i]`` lists the nodes
+        that cover node ``i`` (immediately smaller member sets / larger
+        subspaces); ``children[i]`` the nodes it covers.
+    """
+
+    groups: list[SkylineGroup]
+    parents: list[list[int]] = field(default_factory=list)
+    children: list[list[int]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, groups: list[SkylineGroup]) -> "SkylineGroupLattice":
+        """Construct the Hasse diagram of the group poset."""
+        n = len(groups)
+        # leq[i][j]: node i is below node j  (members_j ⊆ members_i).
+        below: list[list[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            for j in range(n):
+                if i != j and groups[j].members < groups[i].members:
+                    below[i].append(j)
+        parents: list[list[int]] = [[] for _ in range(n)]
+        children: list[list[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            uppers = below[i]
+            for j in uppers:
+                # j covers i when no intermediate k sits strictly between.
+                if not any(
+                    groups[j].members < groups[k].members
+                    and groups[k].members < groups[i].members
+                    for k in uppers
+                ):
+                    parents[i].append(j)
+                    children[j].append(i)
+        return cls(groups=groups, parents=parents, children=children)
+
+    def roots(self) -> list[int]:
+        """Nodes with no parent (the singleton-most groups, top layer)."""
+        return [i for i, p in enumerate(self.parents) if not p]
+
+    def leaves(self) -> list[int]:
+        """Nodes with no children (the largest groups, bottom layer)."""
+        return [i for i, c in enumerate(self.children) if not c]
+
+    def meet(self, i: int, j: int) -> int | None:
+        """Greatest lower bound of two nodes, or ``None`` (virtual zero).
+
+        Lower bounds are the groups containing both member sets (recall
+        larger groups sit *lower*); the meet exists inside the poset when
+        one lower bound sits above all others, i.e. has the smallest
+        member set.
+        """
+        want = self.groups[i].members | self.groups[j].members
+        lower = [
+            k for k, g in enumerate(self.groups) if want <= g.members
+        ]
+        candidates = [
+            k
+            for k in lower
+            if all(self.groups[k].members <= self.groups[m].members for m in lower)
+        ]
+        return candidates[0] if len(candidates) == 1 else None
+
+    def join(self, i: int, j: int) -> int | None:
+        """Least upper bound of two nodes, or ``None`` (virtual unit).
+
+        Upper bounds are the groups contained in both member sets; the join
+        exists inside the poset when one upper bound sits below all others,
+        i.e. has the largest member set.
+        """
+        want = self.groups[i].members & self.groups[j].members
+        upper = [
+            k for k, g in enumerate(self.groups) if g.members <= want
+        ] if want else []
+        candidates = [
+            k
+            for k in upper
+            if all(self.groups[m].members <= self.groups[k].members for m in upper)
+        ]
+        return candidates[0] if len(candidates) == 1 else None
+
+    def to_dot(self, dataset: Dataset) -> str:
+        """Graphviz rendering of the Hasse diagram (documentation aid)."""
+        lines = ["digraph skyline_group_lattice {", "  rankdir=TB;"]
+        for i, g in enumerate(self.groups):
+            label = g.signature(dataset).replace('"', "'")
+            lines.append(f'  n{i} [label="{label}", shape=box];')
+        for i, kids in enumerate(self.children):
+            for j in kids:
+                lines.append(f"  n{i} -> n{j};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QuotientReport:
+    """Outcome of the Theorem 2 verification."""
+
+    well_defined: bool
+    surjective: bool
+    order_preserving: bool
+    n_full_groups: int
+    n_seed_groups: int
+    fiber_sizes: tuple[int, ...]
+
+    @property
+    def is_quotient(self) -> bool:
+        """All three quotient properties hold (Theorem 2 verified)."""
+        return self.well_defined and self.surjective and self.order_preserving
+
+
+def quotient_map(
+    full_groups: list[SkylineGroup],
+    seed_groups: list[SkylineGroup],
+    seeds: list[int],
+) -> dict[int, int | None]:
+    """φ by node position: full-group index -> seed-group index (or None)."""
+    seed_set = frozenset(seeds)
+    by_members = {g.members: i for i, g in enumerate(seed_groups)}
+    mapping: dict[int, int | None] = {}
+    for i, g in enumerate(full_groups):
+        core = g.members & seed_set
+        mapping[i] = by_members.get(core)
+    return mapping
+
+
+def verify_quotient(
+    full_groups: list[SkylineGroup],
+    seed_groups: list[SkylineGroup],
+    seeds: list[int],
+) -> QuotientReport:
+    """Check computationally that the seed lattice is a quotient (Theorem 2)."""
+    mapping = quotient_map(full_groups, seed_groups, seeds)
+    well_defined = all(v is not None for v in mapping.values())
+    hit = {v for v in mapping.values() if v is not None}
+    surjective = hit == set(range(len(seed_groups)))
+    order_preserving = True
+    if well_defined:
+        for i, gi in enumerate(full_groups):
+            for j, gj in enumerate(full_groups):
+                if gj.members <= gi.members:  # gi ⊑ gj in the lattice order
+                    si, sj = seed_groups[mapping[i]], seed_groups[mapping[j]]
+                    if not sj.members <= si.members:
+                        order_preserving = False
+                        break
+            if not order_preserving:
+                break
+    fibers: dict[int | None, int] = {}
+    for v in mapping.values():
+        fibers[v] = fibers.get(v, 0) + 1
+    return QuotientReport(
+        well_defined=well_defined,
+        surjective=surjective,
+        order_preserving=order_preserving,
+        n_full_groups=len(full_groups),
+        n_seed_groups=len(seed_groups),
+        fiber_sizes=tuple(sorted(fibers.values(), reverse=True)),
+    )
+
+
+def seed_groups_as_skyline_groups(dataset, result) -> list[SkylineGroup]:
+    """Convert a Stellar result's seed lattice nodes to :class:`SkylineGroup`.
+
+    The seed groups come out of :mod:`repro.core.seeds` in a compact
+    dataclass; this view gives them the same shape as the full groups so
+    the lattice and quotient machinery can treat both uniformly.
+    """
+    out = []
+    for sg in result.seed_groups:
+        rep = sg.members[0]
+        out.append(
+            SkylineGroup(
+                members=frozenset(sg.members),
+                subspace=sg.subspace,
+                decisive=sg.decisive,
+                projection=dataset.projection(rep, sg.subspace),
+            )
+        )
+    return out
+
+
+def verify_quotient_for(dataset, result) -> QuotientReport:
+    """Run the Theorem 2 check directly on a :class:`StellarResult`."""
+    return verify_quotient(
+        result.groups,
+        seed_groups_as_skyline_groups(dataset, result),
+        result.seeds,
+    )

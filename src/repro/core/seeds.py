@@ -1,0 +1,120 @@
+"""Seed skyline groups and their decisive subspaces (Section 5.2).
+
+Stellar's first phase works purely on the *seeds* -- the full-space skyline
+objects ``F(S)``:
+
+1. compute ``F(S)`` with any full-space skyline algorithm, populating the
+   dominance matrix as a byproduct (Definition 3, Definition 4);
+2. enumerate the maximal c-groups over the seeds (Figure 6);
+3. turn each c-group into a seed skyline group by computing its decisive
+   subspaces from the dominance matrix (Theorem 3 / Corollary 1): group
+   ``(G, B)`` contributes, for every seed ``u ∉ G``, the clause
+   ``B ∩ dom[rep, u]`` (the dimensions of ``B`` on which the group's shared
+   value beats ``u``); the decisive subspaces are the minimal hitting sets;
+4. a c-group with an *empty* clause is dominated-or-coincided everywhere in
+   ``B`` by some outside seed and is dropped (step 4 of Figure 7).
+
+Clause independence from the representative: every member of ``G`` carries
+the group's shared values on ``B``, so ``B ∩ dom[o, u]`` is the same mask
+for every ``o ∈ G``; we use the smallest member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitset import bit, iter_bits
+from .dominance import PairwiseMatrices
+from .hitting import minimal_hitting_sets
+from .types import Dataset
+
+__all__ = ["SeedGroup", "compute_seed_groups", "singleton_decisive"]
+
+
+@dataclass(frozen=True)
+class SeedGroup:
+    """A seed skyline group, in both local (seed-array) and global indexing.
+
+    Attributes
+    ----------
+    local_members:
+        Positions of the member seeds within the seed array.
+    members:
+        The same members as global dataset indices (sorted).
+    subspace:
+        The maximal subspace ``B`` of the group.
+    decisive:
+        All decisive subspaces over the seed set ``F(S)``, sorted.
+    """
+
+    local_members: tuple[int, ...]
+    members: tuple[int, ...]
+    subspace: int
+    decisive: tuple[int, ...]
+
+    @property
+    def representative(self) -> int:
+        """Local index of the representative (smallest) member."""
+        return self.local_members[0]
+
+
+def singleton_decisive(subspace: int) -> tuple[int, ...]:
+    """Decisive subspaces of a group with no outside objects at all.
+
+    With no competitors every condition of Definition 2 is vacuous except
+    minimality, and subspaces are non-empty by definition (Section 2), so
+    every single dimension of ``B`` is decisive.
+    """
+    return tuple(bit(d) for d in iter_bits(subspace))
+
+
+def compute_seed_groups(
+    dataset: Dataset,
+    matrices: PairwiseMatrices,
+    cgroups: list[tuple[tuple[int, ...], int]],
+) -> list[SeedGroup]:
+    """Attach decisive subspaces to maximal c-groups, dropping non-groups.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset (used only for global index translation).
+    matrices:
+        Pairwise matrices over the seeds.
+    cgroups:
+        Output of :func:`repro.core.cgroups.enumerate_maximal_cgroups`.
+
+    Returns
+    -------
+    The seed skyline groups -- the nodes of the paper's *seed lattice*.
+    """
+    seeds = matrices.indices
+    k = len(seeds)
+    groups: list[SeedGroup] = []
+    for local_members, subspace in cgroups:
+        rep = local_members[0]
+        dom_row = matrices.dom_row_array(rep)
+        mask = np.ones(k, dtype=bool)
+        mask[list(local_members)] = False
+        clause_arr = dom_row[mask] & subspace
+        if clause_arr.size and not clause_arr.all():
+            # Some outside seed u is never beaten inside B: the group's
+            # projection is not exclusively in any skyline of a subspace
+            # of B, so this c-group is not a skyline group.
+            continue
+        if clause_arr.size:
+            clauses = [int(c) for c in np.unique(clause_arr)]
+            decisive = tuple(sorted(minimal_hitting_sets(clauses)))
+        else:
+            decisive = singleton_decisive(subspace)
+        groups.append(
+            SeedGroup(
+                local_members=tuple(local_members),
+                members=tuple(sorted(seeds[m] for m in local_members)),
+                subspace=subspace,
+                decisive=decisive,
+            )
+        )
+    return groups

@@ -1,0 +1,214 @@
+"""Algorithm Stellar (Figure 7): the paper's primary contribution.
+
+Stellar computes the complete compressed skyline cube -- every skyline group
+with its decisive subspaces -- while running a skyline computation *only in
+the full space*:
+
+1. compute the full-space skyline ``F(S)`` (the seeds), populating the
+   dominance matrix over the seeds as a byproduct;
+2. enumerate the maximal c-groups of the seeds with the set-enumeration-tree
+   search of Figure 6 (:mod:`repro.core.cgroups`);
+3. attach decisive subspaces via minimal hitting sets over dominance-matrix
+   rows (Corollary 1, :mod:`repro.core.seeds`), dropping c-groups with an
+   empty clause (step 4);
+4. fold the non-seed objects in with one scan against the seed lattice
+   (Theorem 5, :mod:`repro.core.extension`).
+
+No subspace other than the full space is ever searched for a skyline, which
+is the source of Stellar's advantage over Skyey whenever skyline groups
+compress the subspace skylines well (Section 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..skyline import compute_skyline
+from .cgroups import enumerate_maximal_cgroups
+from .dominance import PairwiseMatrices
+from .extension import extend_with_nonseeds
+from .seeds import SeedGroup, compute_seed_groups
+from .types import Dataset, SkylineGroup
+
+__all__ = ["StellarStats", "StellarResult", "stellar"]
+
+
+@dataclass
+class StellarStats:
+    """Counters and per-phase wall-clock timings of one Stellar run."""
+
+    n_objects: int = 0
+    n_dims: int = 0
+    n_seeds: int = 0
+    n_maximal_cgroups: int = 0
+    n_seed_groups: int = 0
+    n_groups: int = 0
+    #: Objects collapsed by duplicate binding (0 unless enabled and found).
+    n_bound_duplicates: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across all phases."""
+        return sum(self.timings.values())
+
+
+@dataclass
+class StellarResult:
+    """Output of :func:`stellar`.
+
+    Attributes
+    ----------
+    groups:
+        The complete set of skyline groups of the dataset, each with its
+        full decisive-subspace signature, sorted deterministically.
+    seed_groups:
+        The seed lattice nodes (skyline groups over ``F(S)`` only).
+    seeds:
+        Global indices of the full-space skyline objects.
+    stats:
+        Phase counters and timings.
+    """
+
+    groups: list[SkylineGroup]
+    seed_groups: list[SeedGroup]
+    seeds: list[int]
+    stats: StellarStats
+
+    def signatures(self, dataset: Dataset) -> list[str]:
+        """Paper-style signatures of every group, sorted as ``groups``."""
+        return [g.signature(dataset) for g in self.groups]
+
+
+def stellar(
+    dataset: Dataset,
+    skyline_algorithm: str = "auto",
+    bind_duplicates: bool = False,
+) -> StellarResult:
+    """Compute the compressed skyline cube of ``dataset`` with Stellar.
+
+    Parameters
+    ----------
+    dataset:
+        The input objects; preference directions are honoured.
+    skyline_algorithm:
+        Which full-space skyline algorithm seeds the computation
+        (see :data:`repro.skyline.SKYLINE_ALGORITHMS`).
+    bind_duplicates:
+        Apply the paper's duplicate-binding preprocessing (Section 5):
+        objects identical on *every* dimension "can be bound together since
+        they always appear together if they are involved in any skyline
+        groups".  The pipeline then runs on the distinct rows and each
+        representative is expanded back to its duplicate set in the output.
+        Off by default -- the core pipeline handles duplicates natively --
+        but worthwhile on data with heavy exact duplication.
+    """
+    if bind_duplicates and dataset.n_objects:
+        return _stellar_bound(dataset, skyline_algorithm)
+    return _stellar_core(dataset, skyline_algorithm)
+
+
+def _stellar_core(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
+    stats = StellarStats(n_objects=dataset.n_objects, n_dims=dataset.n_dims)
+    if dataset.n_objects == 0:
+        return StellarResult(groups=[], seed_groups=[], seeds=[], stats=stats)
+
+    t0 = time.perf_counter()
+    seeds = compute_skyline(dataset, None, algorithm=skyline_algorithm)
+    t1 = time.perf_counter()
+    stats.timings["full_space_skyline"] = t1 - t0
+    stats.n_seeds = len(seeds)
+
+    matrices = PairwiseMatrices(dataset, seeds)
+    cgroups = enumerate_maximal_cgroups(matrices)
+    t2 = time.perf_counter()
+    stats.timings["maximal_cgroups"] = t2 - t1
+    stats.n_maximal_cgroups = len(cgroups)
+
+    seed_groups = compute_seed_groups(dataset, matrices, cgroups)
+    t3 = time.perf_counter()
+    stats.timings["seed_decisive"] = t3 - t2
+    stats.n_seed_groups = len(seed_groups)
+
+    groups = extend_with_nonseeds(dataset, matrices, seed_groups)
+    t4 = time.perf_counter()
+    stats.timings["nonseed_extension"] = t4 - t3
+    stats.n_groups = len(groups)
+
+    return StellarResult(
+        groups=groups, seed_groups=seed_groups, seeds=list(seeds), stats=stats
+    )
+
+
+def _stellar_bound(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
+    """Run the pipeline on distinct rows, then expand duplicate bindings.
+
+    Soundness: exact duplicates coincide on every dimension, so they share
+    every c-group membership, contribute identical hitting-set clauses, and
+    are jointly seeds or jointly non-seeds -- replacing a representative by
+    its duplicate class is a bijection on skyline groups that leaves
+    subspaces, decisive subspaces and projections untouched.
+    """
+    t0 = time.perf_counter()
+    _, first_pos, inverse = np.unique(
+        dataset.values, axis=0, return_index=True, return_inverse=True
+    )
+    representatives = sorted(int(i) for i in first_pos)
+    if len(representatives) == dataset.n_objects:
+        result = _stellar_core(dataset, skyline_algorithm)
+        result.stats.timings["duplicate_binding"] = time.perf_counter() - t0
+        return result
+
+    # class id -> all original indices carrying that distinct row
+    classes: dict[int, list[int]] = {}
+    for obj, cls in enumerate(inverse):
+        classes.setdefault(int(cls), []).append(obj)
+    reduced = dataset.take(representatives)
+    # reduced position -> original duplicate set
+    expansion = {
+        pos: classes[int(inverse[rep])]
+        for pos, rep in enumerate(representatives)
+    }
+    bind_seconds = time.perf_counter() - t0
+
+    inner = _stellar_core(reduced, skyline_algorithm)
+
+    def expand_members(members) -> frozenset[int]:
+        out: set[int] = set()
+        for m in members:
+            out.update(expansion[m])
+        return frozenset(out)
+
+    groups = [
+        SkylineGroup(
+            members=expand_members(g.members),
+            subspace=g.subspace,
+            decisive=g.decisive,
+            projection=g.projection,
+        )
+        for g in inner.groups
+    ]
+    groups.sort(key=lambda g: (len(g.members), tuple(sorted(g.members)), g.subspace))
+    seed_groups = [
+        SeedGroup(
+            local_members=sg.local_members,
+            members=tuple(sorted(expand_members(sg.members))),
+            subspace=sg.subspace,
+            decisive=sg.decisive,
+        )
+        for sg in inner.seed_groups
+    ]
+    seeds = sorted(obj for s in inner.seeds for obj in expansion[s])
+
+    stats = inner.stats
+    stats.n_objects = dataset.n_objects
+    stats.n_bound_duplicates = dataset.n_objects - len(representatives)
+    stats.n_seeds = len(seeds)
+    stats.n_groups = len(groups)
+    stats.timings["duplicate_binding"] = bind_seconds
+    return StellarResult(
+        groups=groups, seed_groups=seed_groups, seeds=seeds, stats=stats
+    )

@@ -1,0 +1,163 @@
+"""Definition-level predicates: the library's correctness oracle.
+
+Everything here is implemented *straight from Definitions 1 and 2* of the
+paper with no algorithmic shortcuts -- exponential subset scans included --
+so it can serve as the ground truth that Stellar, Skyey and the compressed
+cube are property-tested against.
+
+On the Theorem 4 generalisation
+-------------------------------
+The paper states Theorem 4 for seed groups; the library relies on it for
+*all* groups over the full dataset, which follows from Definition 2 alone:
+
+    ``C`` is decisive for ``(G, B)`` over object set ``S``  ⟺
+    ``C`` is minimal with:  for every ``o ∈ S − G`` there is ``D ∈ C``
+    with ``G.D < o.D``.
+
+(⇐)  If every outsider is strictly beaten somewhere in ``C``, none can
+dominate ``G_C`` (dominance needs ``o.D ≤ G.D`` throughout ``C``) and none
+can coincide with it, which is conditions (1)+(2) of Definition 2.
+(⇒)  Conversely, take an outsider ``o`` never strictly beaten in ``C``,
+i.e. ``o.D ≤ G.D`` on all of ``C``.  By condition (2) ``o_C ≠ G_C``, so the
+inequality is strict somewhere and ``o`` dominates ``G_C`` -- contradicting
+condition (1).  Minimality transfers verbatim.
+
+:func:`decisive_subspaces_definitional` (Definition 2 literally) and
+:func:`decisive_subspaces_theorem4` (the hitting-set form) are therefore
+required to agree, and the test suite checks exactly that on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..skyline.base import is_skyline_member
+from .bitset import full_mask, iter_bits, iter_nonempty_subsets, minimal_masks
+from .hitting import minimal_hitting_sets
+from .seeds import singleton_decisive
+from .types import Dataset
+
+__all__ = [
+    "projection_key",
+    "common_coincidence_mask",
+    "is_coincident_group",
+    "is_maximal_cgroup",
+    "is_skyline_group",
+    "decisive_subspaces_definitional",
+    "decisive_subspaces_theorem4",
+]
+
+
+def projection_key(
+    minimized: np.ndarray, i: int, subspace: int
+) -> tuple[float, ...]:
+    """Hashable minimized projection of object ``i`` onto ``subspace``."""
+    return tuple(float(minimized[i, d]) for d in iter_bits(subspace))
+
+
+def common_coincidence_mask(minimized: np.ndarray, members: list[int]) -> int:
+    """Mask of dimensions on which *all* members share one value.
+
+    For a singleton this is the full space: a single object trivially
+    coincides with itself everywhere, so its maximal subspace is ``D``.
+    """
+    n_dims = minimized.shape[1]
+    mask = full_mask(n_dims)
+    first = minimized[members[0]]
+    for m in members[1:]:
+        row = minimized[m]
+        for d in list(iter_bits(mask)):
+            if row[d] != first[d]:
+                mask &= ~(1 << d)
+    return mask
+
+
+def is_coincident_group(dataset: Dataset, members: list[int], subspace: int) -> bool:
+    """Definition 1 first half: all members share the projection on ``subspace``."""
+    if not members or subspace == 0:
+        return False
+    minimized = dataset.minimized
+    ref = projection_key(minimized, members[0], subspace)
+    return all(projection_key(minimized, m, subspace) == ref for m in members[1:])
+
+
+def is_maximal_cgroup(dataset: Dataset, members: list[int], subspace: int) -> bool:
+    """Definition 1 second half: no object nor dimension can be added."""
+    if not is_coincident_group(dataset, members, subspace):
+        return False
+    minimized = dataset.minimized
+    if common_coincidence_mask(minimized, members) != subspace:
+        return False
+    member_set = set(members)
+    ref = projection_key(minimized, members[0], subspace)
+    for o in range(dataset.n_objects):
+        if o in member_set:
+            continue
+        if projection_key(minimized, o, subspace) == ref:
+            return False
+    return True
+
+
+def is_skyline_group(dataset: Dataset, members: list[int], subspace: int) -> bool:
+    """Definition 1: a maximal c-group whose projection is skyline in ``B``."""
+    if not is_maximal_cgroup(dataset, members, subspace):
+        return False
+    return is_skyline_member(dataset.minimized, members[0], subspace)
+
+
+def decisive_subspaces_definitional(
+    dataset: Dataset, members: list[int], subspace: int
+) -> list[int]:
+    """All decisive subspaces of ``(G, B)``, straight from Definition 2.
+
+    Scans every non-empty subset ``C ⊆ B``; qualifies ``C`` when the group's
+    projection is in the skyline of ``C`` and no outside object coincides
+    with it there; returns the minimal qualifying subsets.  Exponential in
+    ``|B|`` -- oracle use only.
+    """
+    minimized = dataset.minimized
+    member_set = set(members)
+    rep = members[0]
+    qualifying: list[int] = []
+    for sub in iter_nonempty_subsets(subspace):
+        if not is_skyline_member(minimized, rep, sub):
+            continue
+        ref = projection_key(minimized, rep, sub)
+        exclusive = all(
+            projection_key(minimized, o, sub) != ref
+            for o in range(dataset.n_objects)
+            if o not in member_set
+        )
+        if exclusive:
+            qualifying.append(sub)
+    return sorted(minimal_masks(qualifying))
+
+
+def decisive_subspaces_theorem4(
+    dataset: Dataset, members: list[int], subspace: int
+) -> list[int]:
+    """All decisive subspaces via the Theorem 4 hitting-set characterisation.
+
+    Builds, for every outside object, the clause of ``B``-dimensions where
+    the group strictly beats it, and returns the minimal hitting sets.  An
+    empty clause means no decisive subspace exists (the group is not a
+    skyline group).
+    """
+    minimized = dataset.minimized
+    member_set = set(members)
+    rep_row = minimized[members[0]]
+    clauses: set[int] = set()
+    for o in range(dataset.n_objects):
+        if o in member_set:
+            continue
+        clause = 0
+        other = minimized[o]
+        for d in iter_bits(subspace):
+            if rep_row[d] < other[d]:
+                clause |= 1 << d
+        if clause == 0:
+            return []
+        clauses.add(clause)
+    if not clauses:
+        return sorted(singleton_decisive(subspace))
+    return sorted(minimal_hitting_sets(clauses))

@@ -1,0 +1,39 @@
+"""Query layer over the compressed skyline cube.
+
+Section 1 of the paper motivates the compressed cube with three query
+families, all answered here without ever re-running a skyline query:
+
+* **Q1** -- given a subspace, list its skyline objects
+  (:meth:`CompressedSkylineCube.skyline_of`);
+* **Q2** -- given an object or group, list the subspaces where it is in the
+  skyline (:meth:`CompressedSkylineCube.membership_intervals`);
+* **Q3** -- multidimensional (OLAP-style) navigation across subspace
+  skylines (:meth:`CompressedSkylineCube.drill_down` /
+  :meth:`CompressedSkylineCube.roll_up`).
+
+:mod:`repro.cube.maintenance` adds incremental insert/delete on top (the
+direction of Xia & Zhang, SIGMOD 2006, cited as follow-up work).
+"""
+
+from .analysis import (
+    decisive_size_histogram,
+    dimension_influence,
+    hidden_gems,
+    robust_winners,
+)
+from .compressed import CompressedSkylineCube
+from .io import load_cube, save_cube
+from .maintenance import MaintainedCube
+from .query import QueryEngine
+
+__all__ = [
+    "CompressedSkylineCube",
+    "QueryEngine",
+    "MaintainedCube",
+    "save_cube",
+    "load_cube",
+    "hidden_gems",
+    "robust_winners",
+    "decisive_size_histogram",
+    "dimension_influence",
+]

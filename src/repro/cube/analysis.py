@@ -1,0 +1,113 @@
+"""Multidimensional skyline analytics over a compressed cube.
+
+The paper's introduction promises that, beyond point queries, the
+compressed cube supports "multidimensional analysis on skylines in various
+subspaces".  This module turns that sentence into named analyses, all
+answered from the groups alone:
+
+* :func:`hidden_gems` -- objects that win only when several criteria are
+  combined (Example 1's object ``d``: in the skyline of ``XY`` but of no
+  proper subspace);
+* :func:`robust_winners` -- objects that win in single criteria already
+  and keep winning when criteria are added;
+* :func:`decisive_size_histogram` -- how many attributes a group minimally
+  needs to be decisive (the "how complex is greatness" distribution);
+* :func:`dimension_influence` -- for each dimension, in how many groups it
+  participates in a decisive subspace (which criteria actually decide
+  skylines).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.bitset import popcount
+from .compressed import CompressedSkylineCube
+
+__all__ = [
+    "hidden_gems",
+    "robust_winners",
+    "decisive_size_histogram",
+    "dimension_influence",
+]
+
+
+def _minimal_win_size(cube: CompressedSkylineCube, obj: int) -> int | None:
+    """Size of the smallest subspace where ``obj`` is a skyline member."""
+    sizes = [
+        popcount(c) for g in cube.groups_of(obj) for c in g.decisive
+    ]
+    return min(sizes) if sizes else None
+
+
+def hidden_gems(
+    cube: CompressedSkylineCube, min_criteria: int = 2
+) -> list[tuple[int, int]]:
+    """Objects whose *smallest* winning subspace has >= ``min_criteria`` dims.
+
+    These are invisible to any user who ranks by few criteria and only
+    surface in genuinely multidimensional comparisons.  Returns
+    ``(object, minimal_win_size)`` sorted by decreasing size then index.
+    """
+    if min_criteria < 1:
+        raise ValueError(f"min_criteria must be positive, got {min_criteria}")
+    out = []
+    for obj in range(cube.dataset.n_objects):
+        size = _minimal_win_size(cube, obj)
+        if size is not None and size >= min_criteria:
+            out.append((obj, size))
+    out.sort(key=lambda pair: (-pair[1], pair[0]))
+    return out
+
+
+def robust_winners(cube: CompressedSkylineCube) -> list[tuple[int, list[int]]]:
+    """Objects winning on at least one *single* criterion.
+
+    By the decisive-subspace semantics such an object is a skyline member
+    of every subspace containing that criterion (up to the group's maximal
+    subspace).  Returns ``(object, winning_dimensions)`` sorted by the
+    number of single-criterion wins, descending.
+    """
+    out = []
+    for obj in range(cube.dataset.n_objects):
+        dims = sorted(
+            {
+                c.bit_length() - 1
+                for g in cube.groups_of(obj)
+                for c in g.decisive
+                if popcount(c) == 1
+            }
+        )
+        if dims:
+            out.append((obj, dims))
+    out.sort(key=lambda pair: (-len(pair[1]), pair[0]))
+    return out
+
+
+def decisive_size_histogram(cube: CompressedSkylineCube) -> dict[int, int]:
+    """Histogram: decisive-subspace size -> count over all groups."""
+    counter = Counter(
+        popcount(c) for g in cube.groups for c in g.decisive
+    )
+    return dict(sorted(counter.items()))
+
+
+def dimension_influence(cube: CompressedSkylineCube) -> list[tuple[str, int]]:
+    """Per dimension: number of groups with it in some decisive subspace.
+
+    A dimension nobody's decisiveness depends on could be dropped from the
+    analysis without changing who wins where (it still shapes maximal
+    subspaces, not minimal ones).  Sorted by influence, descending.
+    """
+    dataset = cube.dataset
+    counts = [0] * dataset.n_dims
+    for g in cube.groups:
+        union = 0
+        for c in g.decisive:
+            union |= c
+        for d in range(dataset.n_dims):
+            if union & (1 << d):
+                counts[d] += 1
+    pairs = [(dataset.names[d], counts[d]) for d in range(dataset.n_dims)]
+    pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+    return pairs

@@ -1,0 +1,366 @@
+"""The compressed skyline cube: skyline groups as a queryable structure.
+
+A :class:`CompressedSkylineCube` holds the complete set of skyline groups
+with their decisive subspaces and answers all three query families of the
+paper's introduction from that summary alone.  The key semantic fact (shown
+with Definition 2 in the paper) is that a group ``(G, B)`` with decisive
+subspaces ``C_1 ... C_k`` puts its members in the skyline of *exactly* the
+subspaces ``A`` with ``C_i ⊆ A ⊆ B`` for some ``i`` -- so subspace skyline
+membership reduces to interval containment over the subspace lattice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitset import is_subset, iter_bits, popcount
+from ..core.types import Dataset, SkylineGroup
+
+__all__ = [
+    "CompressedSkylineCube",
+    "MembershipInterval",
+    "CubeSummary",
+    "WhyNotAnswer",
+]
+
+
+@dataclass(frozen=True)
+class WhyNotAnswer:
+    """Outcome of a why-not query (:meth:`CompressedSkylineCube.why_not`).
+
+    When ``is_skyline`` is True, ``group`` is the skyline group that puts
+    the object in the subspace's skyline and ``witness_decisive`` lists the
+    decisive subspaces contained in the query subspace.  Otherwise
+    ``dominators`` lists every object dominating it there.
+    """
+
+    obj: int
+    subspace: int
+    is_skyline: bool
+    group: "SkylineGroup | None"
+    witness_decisive: tuple[int, ...]
+    dominators: tuple[int, ...]
+
+    def explain(self, dataset: Dataset) -> str:
+        """One-paragraph human-readable explanation."""
+        label = dataset.labels[self.obj]
+        space = dataset.format_subspace(self.subspace)
+        if self.is_skyline:
+            witnesses = ", ".join(
+                dataset.format_subspace(c) for c in self.witness_decisive
+            )
+            return (
+                f"{label} IS in the skyline of {space}: its group "
+                f"{dataset.format_objects(self.group.members)} is decisive "
+                f"on {witnesses}, and {space} extends that within "
+                f"{dataset.format_subspace(self.group.subspace)}."
+            )
+        names = ", ".join(dataset.labels[i] for i in self.dominators[:5])
+        more = (
+            f" (and {len(self.dominators) - 5} more)"
+            if len(self.dominators) > 5
+            else ""
+        )
+        return (
+            f"{label} is NOT in the skyline of {space}: dominated by "
+            f"{names}{more}."
+        )
+
+
+@dataclass(frozen=True)
+class MembershipInterval:
+    """One maximal family ``{A : lower ⊆ A ⊆ upper}`` of skyline memberships."""
+
+    lower: int
+    upper: int
+
+    def __contains__(self, subspace: int) -> bool:
+        return is_subset(self.lower, subspace) and is_subset(subspace, self.upper)
+
+    def size(self) -> int:
+        """Number of subspaces in the interval (2^(|upper|-|lower|))."""
+        return 1 << (popcount(self.upper) - popcount(self.lower))
+
+
+@dataclass(frozen=True)
+class CubeSummary:
+    """Headline statistics of a compressed cube."""
+
+    n_objects: int
+    n_dims: int
+    n_groups: int
+    n_decisive_subspaces: int
+    n_subspace_skyline_objects: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Subspace skyline memberships per group (NaN when no groups)."""
+        if self.n_groups == 0:
+            return float("nan")
+        return self.n_subspace_skyline_objects / self.n_groups
+
+
+class CompressedSkylineCube:
+    """Skyline groups + decisive subspaces, indexed for querying.
+
+    Build one with :meth:`build` (runs Stellar) or directly from a group
+    list produced by any of the library's cube algorithms.
+    """
+
+    def __init__(self, dataset: Dataset, groups: list[SkylineGroup]):
+        self.dataset = dataset
+        self.groups = list(groups)
+        self._by_member: dict[int, list[SkylineGroup]] = defaultdict(list)
+        for group in self.groups:
+            for m in group.members:
+                self._by_member[m].append(group)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, dataset: Dataset, algorithm: str = "stellar"
+    ) -> "CompressedSkylineCube":
+        """Compute the cube with ``"stellar"`` (default) or ``"skyey"``."""
+        if algorithm == "stellar":
+            from ..core.stellar import stellar
+
+            return cls(dataset, stellar(dataset).groups)
+        if algorithm == "skyey":
+            from ..baselines.skyey import skyey
+
+            return cls(dataset, skyey(dataset).groups)
+        raise ValueError(
+            f"unknown cube algorithm {algorithm!r}; use 'stellar' or 'skyey'"
+        )
+
+    # -- Q1: subspace -> skyline objects ---------------------------------
+
+    def groups_in(self, subspace: int) -> list[SkylineGroup]:
+        """Groups whose members are skyline objects in ``subspace``."""
+        self._check_subspace(subspace)
+        return [g for g in self.groups if g.covers_subspace(subspace)]
+
+    def skyline_of(self, subspace: int) -> list[int]:
+        """The skyline of ``subspace``, derived from the groups alone."""
+        members: set[int] = set()
+        for group in self.groups_in(subspace):
+            members.update(group.members)
+        return sorted(members)
+
+    # -- Q2: object -> subspaces ------------------------------------------
+
+    def membership_intervals(self, obj: int) -> list[MembershipInterval]:
+        """All maximal intervals of subspaces where ``obj`` is skyline.
+
+        The union of the returned intervals is exactly the set of subspaces
+        in which ``obj`` is a skyline object; intervals may overlap.
+        """
+        self._check_object(obj)
+        intervals = [
+            MembershipInterval(lower=c, upper=g.subspace)
+            for g in self._by_member.get(obj, [])
+            for c in g.decisive
+        ]
+        # Drop intervals contained in another (redundant for the union).
+        kept: list[MembershipInterval] = []
+        for iv in sorted(intervals, key=lambda iv: (popcount(iv.lower), -popcount(iv.upper))):
+            if not any(
+                is_subset(k.lower, iv.lower) and is_subset(iv.upper, k.upper)
+                for k in kept
+            ):
+                kept.append(iv)
+        return kept
+
+    def is_skyline_in(self, obj: int, subspace: int) -> bool:
+        """True when ``obj`` is a skyline object of ``subspace``."""
+        self._check_subspace(subspace)
+        self._check_object(obj)
+        return any(
+            g.covers_subspace(subspace) for g in self._by_member.get(obj, [])
+        )
+
+    def membership_subspaces(self, obj: int) -> list[int]:
+        """Every subspace where ``obj`` is skyline, materialised.
+
+        Exponential in the dimensionality of the intervals' gaps; intended
+        for low-dimensional inspection (use the intervals for analytics).
+        """
+        seen: set[int] = set()
+        for iv in self.membership_intervals(obj):
+            extra = iv.upper & ~iv.lower
+            sub = extra
+            while True:
+                seen.add(iv.lower | sub)
+                if sub == 0:
+                    break
+                sub = (sub - 1) & extra
+        return sorted(seen)
+
+    def groups_of(self, obj: int) -> list[SkylineGroup]:
+        """All skyline groups that contain ``obj``."""
+        self._check_object(obj)
+        return list(self._by_member.get(obj, []))
+
+    # -- Q3: OLAP navigation ----------------------------------------------
+
+    def drill_down(self, subspace: int) -> list[tuple[int, int, list[int]]]:
+        """Refine ``subspace`` by one dimension.
+
+        Returns ``(added_dim, new_subspace, skyline)`` for every dimension
+        not yet in ``subspace`` -- the "what happens to the skyline when the
+        user also cares about D" question of the flight-ticket example.
+        """
+        self._check_subspace(subspace)
+        out = []
+        for d in range(self.dataset.n_dims):
+            if subspace & (1 << d):
+                continue
+            bigger = subspace | (1 << d)
+            out.append((d, bigger, self.skyline_of(bigger)))
+        return out
+
+    def roll_up(self, subspace: int) -> list[tuple[int, int, list[int]]]:
+        """Coarsen ``subspace`` by one dimension.
+
+        Returns ``(removed_dim, new_subspace, skyline)`` for every dimension
+        of ``subspace`` whose removal leaves a non-empty subspace.
+        """
+        self._check_subspace(subspace)
+        out = []
+        for d in iter_bits(subspace):
+            smaller = subspace & ~(1 << d)
+            if smaller == 0:
+                continue
+            out.append((d, smaller, self.skyline_of(smaller)))
+        return out
+
+    def materialize(self) -> dict[int, list[int]]:
+        """Derive the full SkyCube (every subspace's skyline) from the groups.
+
+        This is the paper's compression claim made executable: the
+        compressed cube (groups + decisive subspaces) reconstructs the
+        skylines of all ``2^d - 1`` subspaces with no skyline computation.
+        Exponential output size -- intended for moderate dimensionality.
+        """
+        cube: dict[int, set[int]] = {
+            subspace: set()
+            for subspace in range(1, 1 << self.dataset.n_dims)
+        }
+        for group in self.groups:
+            members = group.members
+            for c in group.decisive:
+                extra = group.subspace & ~c
+                sub = extra
+                while True:
+                    cube[c | sub].update(members)
+                    if sub == 0:
+                        break
+                    sub = (sub - 1) & extra
+        return {subspace: sorted(members) for subspace, members in cube.items()}
+
+    # -- extensions ---------------------------------------------------------
+
+    def why_not(self, obj: int, subspace: int) -> "WhyNotAnswer":
+        """Explain an object's skyline status in ``subspace``.
+
+        A *why-not* query: if the object is a skyline member, the answer
+        carries its group and the decisive subspaces that witness the
+        membership; otherwise it lists the objects that dominate it in the
+        subspace -- the concrete evidence a user can act on ("RouteB loses
+        on (price, stops) because RouteA is at least as good everywhere
+        and strictly cheaper").
+        """
+        self._check_subspace(subspace)
+        self._check_object(obj)
+        for group in self._by_member.get(obj, []):
+            if group.covers_subspace(subspace):
+                witnesses = tuple(
+                    c for c in group.decisive if is_subset(c, subspace)
+                )
+                return WhyNotAnswer(
+                    obj=obj,
+                    subspace=subspace,
+                    is_skyline=True,
+                    group=group,
+                    witness_decisive=witnesses,
+                    dominators=(),
+                )
+        minimized = self.dataset.minimized
+        dims = [d for d in iter_bits(subspace)]
+        row = minimized[obj, dims]
+        block = minimized[:, dims]
+        no_worse = np.all(block <= row, axis=1)
+        strictly = np.any(block < row, axis=1)
+        dominators = tuple(
+            int(i) for i in np.flatnonzero(no_worse & strictly) if i != obj
+        )
+        return WhyNotAnswer(
+            obj=obj,
+            subspace=subspace,
+            is_skyline=False,
+            group=None,
+            witness_decisive=(),
+            dominators=dominators,
+        )
+
+    def top_frequent(self, k: int) -> list[tuple[int, int]]:
+        """Top-k frequent skyline points (Chan et al., EDBT 2006).
+
+        An object's *skyline frequency* is the number of subspaces in which
+        it is a skyline object.  The compressed cube answers this without
+        touching the data: each object's frequency is the size of the union
+        of its membership intervals.  Returns ``(object, frequency)`` pairs
+        sorted by decreasing frequency (ties broken by object index), at
+        most ``k`` of them, objects with frequency zero omitted.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        frequencies = [
+            (obj, len(self.membership_subspaces(obj)))
+            for obj in sorted(self._by_member)
+        ]
+        frequencies.sort(key=lambda pair: (-pair[1], pair[0]))
+        return frequencies[:k]
+
+    # -- statistics --------------------------------------------------------
+
+    def summary(self) -> CubeSummary:
+        """Headline statistics, including the exact SkyCube size.
+
+        The number of subspace skyline objects is computed by
+        inclusion-exclusion-free counting per object: the union of an
+        object's membership intervals, counted by materialisation when
+        narrow and by subset enumeration of the complement otherwise.
+        """
+        total_memberships = 0
+        for obj in range(self.dataset.n_objects):
+            if obj in self._by_member:
+                total_memberships += len(self.membership_subspaces(obj))
+        return CubeSummary(
+            n_objects=self.dataset.n_objects,
+            n_dims=self.dataset.n_dims,
+            n_groups=len(self.groups),
+            n_decisive_subspaces=sum(len(g.decisive) for g in self.groups),
+            n_subspace_skyline_objects=total_memberships,
+        )
+
+    # -- internal ----------------------------------------------------------
+
+    def _check_subspace(self, subspace: int) -> None:
+        if subspace == 0:
+            raise ValueError("the empty subspace has no skyline")
+        if subspace >> self.dataset.n_dims:
+            raise ValueError(
+                f"subspace {subspace:#x} references dimensions beyond the "
+                f"{self.dataset.n_dims} available"
+            )
+
+    def _check_object(self, obj: int) -> None:
+        if not 0 <= obj < self.dataset.n_objects:
+            raise ValueError(
+                f"object index {obj} out of range [0, {self.dataset.n_objects})"
+            )

@@ -1,0 +1,85 @@
+"""Persistence for compressed skyline cubes.
+
+A computed cube is a set of skyline groups -- small relative to the data
+(that is the paper's whole point) -- so it serialises naturally to JSON:
+one record per group with members, maximal subspace, decisive subspaces
+and the shared projection, plus a header binding the cube to its dataset's
+schema and a fingerprint of the values.
+
+Loading verifies the fingerprint against the dataset the caller supplies:
+a cube silently applied to different data would answer queries wrongly, so
+a mismatch raises instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..core.types import Dataset, SkylineGroup, group_sort_key
+from .compressed import CompressedSkylineCube
+
+__all__ = ["save_cube", "load_cube", "dataset_fingerprint"]
+
+_FORMAT = "repro-skyline-cube/1"
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Stable hash of the dataset's schema and raw values."""
+    digest = hashlib.sha256()
+    digest.update(repr(dataset.names).encode())
+    digest.update(repr([d.value for d in dataset.directions]).encode())
+    digest.update(repr(dataset.labels).encode())
+    digest.update(dataset.values.tobytes())
+    return digest.hexdigest()
+
+
+def save_cube(cube: CompressedSkylineCube, path: str | Path) -> None:
+    """Write the cube to ``path`` as JSON."""
+    payload = {
+        "format": _FORMAT,
+        "n_objects": cube.dataset.n_objects,
+        "n_dims": cube.dataset.n_dims,
+        "fingerprint": dataset_fingerprint(cube.dataset),
+        "groups": [
+            {
+                "members": sorted(g.members),
+                "subspace": g.subspace,
+                "decisive": list(g.decisive),
+                "projection": list(g.projection),
+            }
+            for g in cube.groups
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_cube(path: str | Path, dataset: Dataset) -> CompressedSkylineCube:
+    """Read a cube from ``path`` and bind it to ``dataset``.
+
+    Raises :class:`ValueError` when the file is not a cube file or was
+    computed from different data.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a cube file ({exc})") from None
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    if payload.get("fingerprint") != dataset_fingerprint(dataset):
+        raise ValueError(
+            f"{path}: cube was computed from a different dataset "
+            "(fingerprint mismatch)"
+        )
+    groups = [
+        SkylineGroup(
+            members=frozenset(record["members"]),
+            subspace=int(record["subspace"]),
+            decisive=tuple(int(c) for c in record["decisive"]),
+            projection=tuple(float(v) for v in record["projection"]),
+        )
+        for record in payload["groups"]
+    ]
+    groups.sort(key=group_sort_key)
+    return CompressedSkylineCube(dataset, groups)

@@ -1,0 +1,189 @@
+"""Incremental maintenance of a compressed skyline cube.
+
+The paper lists frequent-update support (Xia & Zhang, SIGMOD 2006) as the
+natural follow-up to cube materialisation.  This module implements a sound
+incremental layer with two *fast paths* derived from the same theory that
+powers Stellar's non-seed step:
+
+* **Irrelevant insert.**  A new object that is dominated by some existing
+  object *and* coincides with no current *seed* on any dimension can
+  neither enter the full-space skyline (domination chains end in a seed,
+  and a dominated insert cannot evict one) nor perturb any group: every
+  group's shared values are seed values, so a share mask can only be
+  non-empty through a value tie with a seed (Theorem 5's relevance
+  condition).  The cube is provably unchanged.
+* **Irrelevant delete.**  Removing an object that belongs to no skyline
+  group leaves every group and every decisive subspace intact.  Such an
+  object is a non-seed, so the seed lattice is untouched; and its
+  hitting-set clause against any group ``(G, B)`` is *neutral*: were some
+  decisive subspace ``C`` of the group contained in the object's share
+  mask, the seed-decisive subspace inside ``C`` would have pulled the
+  object into a child group -- contradiction.  Every decisive subspace
+  therefore already hits the clause, and dropping a clause that all
+  minimal transversals hit changes no minimal transversal.
+
+Everything else falls back to a full Stellar recomputation.  The class
+tracks how often each path fires, which example
+``examples/incremental_updates.py`` turns into a small study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.stellar import stellar
+from ..core.types import Dataset
+from .compressed import CompressedSkylineCube
+
+__all__ = ["MaintenanceStats", "MaintainedCube"]
+
+
+@dataclass
+class MaintenanceStats:
+    """How updates were served."""
+
+    fast_inserts: int = 0
+    full_inserts: int = 0
+    fast_deletes: int = 0
+    full_deletes: int = 0
+    history: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total number of updates served."""
+        return (
+            self.fast_inserts
+            + self.full_inserts
+            + self.fast_deletes
+            + self.full_deletes
+        )
+
+
+class MaintainedCube:
+    """A compressed skyline cube that absorbs inserts and deletes."""
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+        result = stellar(dataset)
+        self._cube = CompressedSkylineCube(dataset, result.groups)
+        self._seeds: list[int] = list(result.seeds)
+        self.stats = MaintenanceStats()
+
+    @property
+    def seeds(self) -> list[int]:
+        """Indices of the current full-space skyline objects."""
+        return list(self._seeds)
+
+    @property
+    def dataset(self) -> Dataset:
+        """The current object set, reflecting all applied updates."""
+        return self._dataset
+
+    @property
+    def cube(self) -> CompressedSkylineCube:
+        """The up-to-date compressed cube over :attr:`dataset`."""
+        return self._cube
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, row: list[float], label: str | None = None) -> bool:
+        """Insert one object; returns True when the fast path applied."""
+        if label is None:
+            label = self._fresh_label()
+        elif label in self._dataset.labels:
+            raise ValueError(f"duplicate object label {label!r}")
+        new_dataset = Dataset(
+            values=np.vstack([self._dataset.values, np.asarray(row, dtype=np.float64)])
+            if self._dataset.n_objects
+            else np.asarray([row], dtype=np.float64),
+            names=self._dataset.names,
+            directions=self._dataset.directions,
+            labels=self._dataset.labels + (label,),
+        )
+        fast = self._dataset.n_objects > 0 and self._insert_is_irrelevant(
+            new_dataset.minimized[-1]
+        )
+        self._dataset = new_dataset
+        if fast:
+            # The groups and seeds are unchanged; rebind the cube to the new
+            # dataset so indices (which are append-only) stay valid.
+            self._cube = CompressedSkylineCube(new_dataset, self._cube.groups)
+            self.stats.fast_inserts += 1
+            self.stats.history.append(f"insert {label}: fast")
+        else:
+            result = stellar(new_dataset)
+            self._cube = CompressedSkylineCube(new_dataset, result.groups)
+            self._seeds = list(result.seeds)
+            self.stats.full_inserts += 1
+            self.stats.history.append(f"insert {label}: full")
+        return fast
+
+    def delete(self, label: str) -> bool:
+        """Delete one object by label; returns True when the fast path applied.
+
+        The fast path requires the object to appear in no skyline group.
+        Note indices shift on delete, so the cube is re-indexed even on the
+        fast path (groups themselves are reused).
+        """
+        try:
+            victim = self._dataset.labels.index(label)
+        except ValueError:
+            raise ValueError(f"unknown object label {label!r}") from None
+        in_any_group = any(victim in g.members for g in self._cube.groups)
+        keep = [i for i in range(self._dataset.n_objects) if i != victim]
+        new_dataset = self._dataset.take(keep)
+        if not in_any_group:
+            # An ungrouped object is never a seed (every seed has at least
+            # its singleton group), so the seed set survives the remap.
+            remap = {old: new for new, old in enumerate(keep)}
+            regrouped = [
+                type(g)(
+                    members=frozenset(remap[m] for m in g.members),
+                    subspace=g.subspace,
+                    decisive=g.decisive,
+                    projection=g.projection,
+                )
+                for g in self._cube.groups
+            ]
+            self._dataset = new_dataset
+            self._cube = CompressedSkylineCube(new_dataset, regrouped)
+            self._seeds = [remap[s] for s in self._seeds]
+            self.stats.fast_deletes += 1
+            self.stats.history.append(f"delete {label}: fast")
+            return True
+        self._dataset = new_dataset
+        result = stellar(new_dataset)
+        self._cube = CompressedSkylineCube(new_dataset, result.groups)
+        self._seeds = list(result.seeds)
+        self.stats.full_deletes += 1
+        self.stats.history.append(f"delete {label}: full")
+        return False
+
+    # -- internal ------------------------------------------------------------
+
+    def _insert_is_irrelevant(self, new_min_row: np.ndarray) -> bool:
+        """Dominated by an existing object, value-disjoint from every seed."""
+        minimized = self._dataset.minimized
+        if self._seeds and bool(
+            np.any(minimized[self._seeds] == new_min_row)
+        ):
+            # A value tie with a seed could make the insert *relevant* to
+            # some group (non-empty share mask): recompute.
+            return False
+        # Dominated by any existing object suffices: the dominated-by
+        # relation always reaches a full-space skyline object transitively,
+        # so a dominated insert can never become a seed nor evict one.
+        no_worse = np.all(minimized <= new_min_row, axis=1)
+        strictly = np.any(minimized < new_min_row, axis=1)
+        return bool((no_worse & strictly).any())
+
+    def _fresh_label(self) -> str:
+        base = self._dataset.n_objects + 1
+        existing = set(self._dataset.labels)
+        candidate = f"P{base}"
+        while candidate in existing:
+            base += 1
+            candidate = f"P{base}"
+        return candidate

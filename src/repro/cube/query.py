@@ -1,0 +1,97 @@
+"""Label-based query front end over the compressed cube.
+
+:class:`QueryEngine` wraps a :class:`~repro.cube.compressed.CompressedSkylineCube`
+with the dataset's human-facing vocabulary: dimension *names* instead of
+bitmasks and object *labels* instead of indices, so application code reads
+like the paper's flight-ticket narrative::
+
+    engine.skyline("price,traveltime")      -> ["RouteA", "RouteC"]
+    engine.where_wins("RouteC")             -> ["price", "price,stops", ...]
+"""
+
+from __future__ import annotations
+
+from ..core.types import Dataset
+from .compressed import CompressedSkylineCube
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Name/label-level access to a compressed skyline cube."""
+
+    def __init__(self, cube: CompressedSkylineCube):
+        self.cube = cube
+        self.dataset: Dataset = cube.dataset
+        self._label_to_index = {
+            label: i for i, label in enumerate(self.dataset.labels)
+        }
+
+    @classmethod
+    def build(cls, dataset: Dataset, algorithm: str = "stellar") -> "QueryEngine":
+        """Compute the cube for ``dataset`` and wrap it in an engine."""
+        return cls(CompressedSkylineCube.build(dataset, algorithm=algorithm))
+
+    # -- Q1 ---------------------------------------------------------------
+
+    def skyline(self, subspace: str) -> list[str]:
+        """Labels of the skyline objects of the named subspace."""
+        mask = self.dataset.parse_subspace(subspace)
+        return [self.dataset.labels[i] for i in self.cube.skyline_of(mask)]
+
+    # -- Q2 ---------------------------------------------------------------
+
+    def where_wins(self, label: str) -> list[str]:
+        """Every subspace (rendered with names) where the object is skyline."""
+        obj = self._resolve(label)
+        return [
+            self.dataset.format_subspace(mask)
+            for mask in self.cube.membership_subspaces(obj)
+        ]
+
+    def wins_in(self, label: str, subspace: str) -> bool:
+        """Is the object a skyline member of the named subspace?"""
+        obj = self._resolve(label)
+        mask = self.dataset.parse_subspace(subspace)
+        return self.cube.is_skyline_in(obj, mask)
+
+    def signature_of(self, label: str) -> list[str]:
+        """Paper-style signatures of every group containing the object."""
+        obj = self._resolve(label)
+        return [g.signature(self.dataset) for g in self.cube.groups_of(obj)]
+
+    def why_not(self, label: str, subspace: str) -> str:
+        """Human-readable explanation of the object's status in a subspace."""
+        obj = self._resolve(label)
+        mask = self.dataset.parse_subspace(subspace)
+        return self.cube.why_not(obj, mask).explain(self.dataset)
+
+    # -- Q3 ---------------------------------------------------------------
+
+    def drill_down(self, subspace: str) -> dict[str, list[str]]:
+        """Skyline after adding each missing dimension to the subspace."""
+        mask = self.dataset.parse_subspace(subspace)
+        return {
+            self.dataset.format_subspace(bigger): [
+                self.dataset.labels[i] for i in skyline
+            ]
+            for _, bigger, skyline in self.cube.drill_down(mask)
+        }
+
+    def roll_up(self, subspace: str) -> dict[str, list[str]]:
+        """Skyline after removing each dimension of the subspace."""
+        mask = self.dataset.parse_subspace(subspace)
+        return {
+            self.dataset.format_subspace(smaller): [
+                self.dataset.labels[i] for i in skyline
+            ]
+            for _, smaller, skyline in self.cube.roll_up(mask)
+        }
+
+    # -- internal -----------------------------------------------------------
+
+    def _resolve(self, label: str) -> int:
+        try:
+            return self._label_to_index[label]
+        except KeyError:
+            raise ValueError(f"unknown object label {label!r}") from None

@@ -1,0 +1,139 @@
+"""A synthetic stand-in for the Great NBA Players table.
+
+The paper's real-data experiments (Figures 8 and 9) use the regular-season
+career statistics of 17,265 players over 17 numeric dimensions, where
+*larger is better*.  That table is not redistributable and this environment
+has no network, so this module synthesises a table with the properties that
+drive those figures:
+
+* **strong positive correlation** -- all counting stats scale with a latent
+  "career volume" (seasons x minutes), so a player big in one stat is big
+  in most: full-space skylines stay small, like real NBA data;
+* **integer values with heavy low-end mass** -- career lengths follow a
+  geometric-like distribution (most careers are short), so thousands of
+  players tie on small stat totals, giving the moderate value coincidence
+  the skyline-group model feeds on;
+* **role differentiation** -- per-player archetype weights (scorer,
+  rebounder, playmaker, defender) decorrelate stats *across roles* so that
+  the skyline is not a single superstar;
+* 17 dimensions, MAX preference everywhere, defaulting to 17,265 players.
+
+The substitution is documented in DESIGN.md §4; EXPERIMENTS.md verifies the
+generated table lands in the paper's qualitative regime (skyline-group
+counts growing moderately with dimensionality while SkyCube sizes explode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import Dataset, Direction
+
+__all__ = ["NBA_DIMENSIONS", "generate_nba_like"]
+
+#: The 17 statistic columns, in the fixed order used by the ``first d
+#: dimensions`` sweeps of Figures 8-9.
+NBA_DIMENSIONS: tuple[str, ...] = (
+    "GP",    # games played
+    "MIN",   # minutes
+    "PTS",   # points
+    "FGM",   # field goals made
+    "FGA",   # field goals attempted
+    "TPM",   # three-pointers made
+    "TPA",   # three-pointers attempted
+    "FTM",   # free throws made
+    "FTA",   # free throws attempted
+    "ORB",   # offensive rebounds
+    "DRB",   # defensive rebounds
+    "REB",   # total rebounds
+    "AST",   # assists
+    "STL",   # steals
+    "BLK",   # blocks
+    "TOV",   # turnovers (career total: bigger = longer career, kept MAX)
+    "PF",    # personal fouls
+)
+
+#: Per-minute base rates of each stat for an average player.
+_BASE_RATES = {
+    "PTS": 0.42,
+    "FGM": 0.16,
+    "FGA": 0.36,
+    "TPM": 0.02,
+    "TPA": 0.06,
+    "FTM": 0.09,
+    "FTA": 0.12,
+    "ORB": 0.05,
+    "DRB": 0.12,
+    "AST": 0.10,
+    "STL": 0.03,
+    "BLK": 0.02,
+    "TOV": 0.06,
+    "PF": 0.09,
+}
+
+
+def generate_nba_like(
+    n_players: int = 17_265, seed: int | None = 20070415
+) -> Dataset:
+    """Generate the NBA-like career-statistics dataset.
+
+    Parameters
+    ----------
+    n_players:
+        Number of players; defaults to the size of the paper's table.
+    seed:
+        RNG seed; the default pins the table used by the benchmarks.
+    """
+    if n_players < 0:
+        raise ValueError(f"n_players must be non-negative, got {n_players}")
+    rng = np.random.default_rng(seed)
+
+    # Career length in seasons: geometric-like, most careers short.
+    seasons = 1 + rng.geometric(p=0.28, size=n_players)
+    seasons = np.minimum(seasons, 21)
+
+    # Games per season and minutes per game scale with a latent skill.
+    skill = rng.beta(2.0, 5.0, size=n_players)  # right-skewed talent
+    games_per_season = np.clip(
+        rng.normal(35 + 45 * skill, 8.0), 3, 82
+    )
+    minutes_per_game = np.clip(rng.normal(8 + 28 * skill, 4.0), 2, 44)
+
+    gp = np.rint(seasons * games_per_season).astype(np.int64)
+    minutes = np.rint(gp * minutes_per_game).astype(np.int64)
+
+    # Archetype weights decorrelate stats across roles.
+    archetype = rng.dirichlet(alpha=(2.0, 2.0, 2.0, 2.0), size=n_players)
+    scorer, rebounder, playmaker, defender = archetype.T
+    role_boost = {
+        "PTS": 0.4 + 1.8 * scorer,
+        "FGM": 0.4 + 1.8 * scorer,
+        "FGA": 0.4 + 1.8 * scorer,
+        "TPM": 0.2 + 2.4 * scorer,
+        "TPA": 0.2 + 2.4 * scorer,
+        "FTM": 0.4 + 1.6 * scorer,
+        "FTA": 0.4 + 1.6 * scorer,
+        "ORB": 0.3 + 2.2 * rebounder,
+        "DRB": 0.3 + 2.2 * rebounder,
+        "AST": 0.3 + 2.4 * playmaker,
+        "STL": 0.5 + 1.6 * defender,
+        "BLK": 0.2 + 2.6 * rebounder,
+        "TOV": 0.6 + 1.0 * playmaker,
+        "PF": 0.7 + 0.8 * defender,
+    }
+
+    columns: dict[str, np.ndarray] = {"GP": gp, "MIN": minutes}
+    for stat, rate in _BASE_RATES.items():
+        lam = minutes * rate * role_boost[stat]
+        columns[stat] = rng.poisson(lam).astype(np.int64)
+    # Total rebounds are the exact sum of the splits, like the real table.
+    columns["REB"] = columns["ORB"] + columns["DRB"]
+
+    matrix = np.column_stack([columns[name] for name in NBA_DIMENSIONS])
+    labels = tuple(f"player{i:05d}" for i in range(n_players))
+    return Dataset(
+        values=matrix.astype(np.float64),
+        names=NBA_DIMENSIONS,
+        directions=(Direction.MAX,) * len(NBA_DIMENSIONS),
+        labels=labels,
+    )

@@ -1,0 +1,406 @@
+"""An in-memory B+-tree.
+
+A classic order-``m`` B+-tree: all records live in leaves, internal nodes
+hold separator keys, leaves are linked for ordered scans.  Keys are any
+totally ordered Python values (Subsky uses ``(f, sum, id)`` tuples, which
+also makes every key unique); duplicate keys are rejected to keep deletion
+semantics crisp -- compose the payload into the key when multiplicity is
+needed.
+
+Supported operations: :meth:`insert`, :meth:`delete`, :meth:`get`,
+:meth:`items` (full ordered scan), :meth:`range` (half-open ``[lo, hi)``
+scan), :meth:`min_item`, :meth:`bulk_load` (build from sorted pairs in one
+pass), ``len``, ``in``.  :meth:`check_invariants` validates the structural
+invariants and is exercised by the property tests after every mutation
+sequence.
+
+This is deliberately a *real* B+-tree rather than a sorted list in
+disguise: node splits, borrows and merges follow the textbook algorithm,
+so the index substrate behaves the way the SUBSKY paper assumes (bulk
+construction, logarithmic point access, sequential leaf scans).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.keys: list[Any] = []
+        if is_leaf:
+            self.values: list[Any] = []
+            self.children = None
+            self.next_leaf: "_Node | None" = None
+        else:
+            self.children: list["_Node"] = []
+            self.values = None
+            self.next_leaf = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class BPlusTree:
+    """An order-``m`` B+-tree mapping unique keys to values."""
+
+    def __init__(self, order: int = 64):
+        if order < 3:
+            raise ValueError(f"order must be at least 3, got {order}")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        pos = _lower_bound(leaf.keys, key)
+        if pos < len(leaf.keys) and leaf.keys[pos] == key:
+            return leaf.values[pos]
+        return default
+
+    def min_item(self) -> tuple[Any, Any]:
+        """Smallest ``(key, value)`` pair; raises ``KeyError`` when empty."""
+        if self._size == 0:
+            raise KeyError("min_item() on an empty tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All ``(key, value)`` pairs in ascending key order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def range(self, lo: Any = None, hi: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Pairs with ``lo <= key < hi`` (either bound may be ``None``)."""
+        if lo is None:
+            node = self._root
+            while not node.is_leaf:
+                node = node.children[0]
+            pos = 0
+        else:
+            node = self._find_leaf(lo)
+            pos = _lower_bound(node.keys, lo)
+        while node is not None:
+            while pos < len(node.keys):
+                key = node.keys[pos]
+                if hi is not None and key >= hi:
+                    return
+                yield key, node.values[pos]
+                pos += 1
+            node = node.next_leaf
+            pos = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, pairs: Iterable[tuple[Any, Any]], order: int = 64
+    ) -> "BPlusTree":
+        """Build a tree from key-sorted unique pairs in one bottom-up pass."""
+        tree = cls(order=order)
+        pairs = list(pairs)
+        for a, b in zip(pairs, pairs[1:]):
+            if not a[0] < b[0]:
+                raise ValueError("bulk_load requires strictly increasing keys")
+        if not pairs:
+            return tree
+
+        fill = max(2, (order - 1) * 3 // 4)  # leave headroom for inserts
+        leaves: list[_Node] = []
+        for start in range(0, len(pairs), fill):
+            chunk = pairs[start : start + fill]
+            leaf = _Node(is_leaf=True)
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        # A trailing leaf below the minimum fill merges with (or rebalances
+        # against) its left sibling so the deletion invariants hold from
+        # the start.
+        if len(leaves) > 1 and len(leaves[-1].keys) < tree._min_leaf:
+            prev, last = leaves[-2], leaves[-1]
+            keys = prev.keys + last.keys
+            values = prev.values + last.values
+            if len(keys) <= order - 1:
+                prev.keys, prev.values = keys, values
+                prev.next_leaf = last.next_leaf
+                leaves.pop()
+            else:
+                half = len(keys) // 2
+                prev.keys, prev.values = keys[:half], values[:half]
+                last.keys, last.values = keys[half:], values[half:]
+
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start in range(0, len(level), fill):
+                chunk = level[start : start + fill]
+                parent = _Node(is_leaf=False)
+                parent.children = chunk
+                parent.keys = [_subtree_min(c) for c in chunk[1:]]
+                parents.append(parent)
+            if len(parents) > 1 and len(parents[-1].children) < tree._min_children:
+                prev, last = parents[-2], parents[-1]
+                children = prev.children + last.children
+                if len(children) <= order:
+                    prev.children = children
+                    prev.keys = [_subtree_min(c) for c in children[1:]]
+                    parents.pop()
+                else:
+                    half = len(children) // 2
+                    prev.children = children[:half]
+                    last.children = children[half:]
+                    prev.keys = [_subtree_min(c) for c in prev.children[1:]]
+                    last.keys = [_subtree_min(c) for c in last.children[1:]]
+            level = parents
+        tree._root = level[0]
+        tree._size = len(pairs)
+        return tree
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a new key; raises ``KeyError`` if the key already exists."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def delete(self, key: Any) -> Any:
+        """Remove ``key`` and return its value; raises ``KeyError`` if absent."""
+        value = self._delete(self._root, key)
+        if not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return value
+
+    # -- internals: insert -------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[_upper_bound(node.keys, key)]
+        return node
+
+    def _insert(self, node: _Node, key: Any, value: Any):
+        if node.is_leaf:
+            pos = _lower_bound(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                raise KeyError(f"duplicate key {key!r}")
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+            if len(node.keys) < self.order:
+                return None
+            mid = len(node.keys) // 2
+            right = _Node(is_leaf=True)
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            del node.keys[mid:], node.values[mid:]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            return right.keys[0], right
+
+        child_pos = _upper_bound(node.keys, key)
+        split = self._insert(node.children[child_pos], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(child_pos, sep)
+        node.children.insert(child_pos + 1, right)
+        if len(node.children) <= self.order:
+            return None
+        mid = len(node.keys) // 2
+        up = node.keys[mid]
+        new_right = _Node(is_leaf=False)
+        new_right.keys = node.keys[mid + 1 :]
+        new_right.children = node.children[mid + 1 :]
+        del node.keys[mid:], node.children[mid + 1 :]
+        return up, new_right
+
+    # -- internals: delete -------------------------------------------------------
+
+    @property
+    def _min_leaf(self) -> int:
+        return (self.order - 1) // 2 if self.order > 3 else 1
+
+    @property
+    def _min_children(self) -> int:
+        return (self.order + 1) // 2 if self.order > 3 else 2
+
+    def _delete(self, node: _Node, key: Any) -> Any:
+        if node.is_leaf:
+            pos = _lower_bound(node.keys, key)
+            if pos >= len(node.keys) or node.keys[pos] != key:
+                raise KeyError(key)
+            node.keys.pop(pos)
+            return node.values.pop(pos)
+
+        child_pos = _upper_bound(node.keys, key)
+        child = node.children[child_pos]
+        value = self._delete(child, key)
+        underflow = (
+            len(child.keys) < self._min_leaf
+            if child.is_leaf
+            else len(child.children) < self._min_children
+        )
+        if underflow:
+            self._rebalance(node, child_pos)
+        # Refresh the separator: deletion may have removed a leaf's head.
+        for i in range(1, len(node.children)):
+            node.keys[i - 1] = _subtree_min(node.children[i])
+        return value
+
+    def _rebalance(self, parent: _Node, pos: int) -> None:
+        child = parent.children[pos]
+        left = parent.children[pos - 1] if pos > 0 else None
+        right = parent.children[pos + 1] if pos + 1 < len(parent.children) else None
+
+        if child.is_leaf:
+            if left is not None and len(left.keys) > self._min_leaf:
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                return
+            if right is not None and len(right.keys) > self._min_leaf:
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                return
+            if left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next_leaf = child.next_leaf
+                parent.children.pop(pos)
+                parent.keys.pop(pos - 1)
+            else:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next_leaf = right.next_leaf
+                parent.children.pop(pos + 1)
+                parent.keys.pop(pos)
+            return
+
+        if left is not None and len(left.children) > self._min_children:
+            child.children.insert(0, left.children.pop())
+            left.keys.pop()
+            child.keys = [_subtree_min(c) for c in child.children[1:]]
+            return
+        if right is not None and len(right.children) > self._min_children:
+            child.children.append(right.children.pop(0))
+            right.keys.pop(0)
+            child.keys = [_subtree_min(c) for c in child.children[1:]]
+            right.keys = [_subtree_min(c) for c in right.children[1:]]
+            return
+        if left is not None:
+            left.children.extend(child.children)
+            left.keys = [_subtree_min(c) for c in left.children[1:]]
+            parent.children.pop(pos)
+            parent.keys.pop(pos - 1)
+        else:
+            child.children.extend(right.children)
+            child.keys = [_subtree_min(c) for c in child.children[1:]]
+            parent.children.pop(pos + 1)
+            parent.keys.pop(pos)
+
+    # -- validation ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants; used by the property tests.
+
+        Checks: keys sorted and unique globally; all leaves at one depth;
+        separator keys equal the minimum of the right subtree; node fills
+        within bounds (root excepted); leaf chain covers exactly the
+        records in order; ``len`` agrees.
+        """
+        leaves: list[_Node] = []
+        depths: set[int] = set()
+
+        def walk(node: _Node, depth: int, lo: Any, hi: Any) -> None:
+            assert _strictly_increasing(node.keys), "node keys out of order"
+            for key in node.keys:
+                assert lo is None or key >= lo
+                assert hi is None or key < hi
+            if node.is_leaf:
+                depths.add(depth)
+                leaves.append(node)
+                assert len(node.keys) == len(node.values)
+                if node is not self._root:
+                    assert len(node.keys) >= self._min_leaf
+                return
+            assert len(node.children) == len(node.keys) + 1
+            if node is not self._root:
+                assert len(node.children) >= self._min_children
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                walk(child, depth + 1, bounds[i], bounds[i + 1])
+                if i >= 1:
+                    assert node.keys[i - 1] == _subtree_min(child)
+
+        walk(self._root, 0, None, None)
+        assert len(depths) == 1, "leaves at differing depths"
+        chained = []
+        node = leaves[0] if leaves else None
+        while node is not None:
+            chained.append(node)
+            node = node.next_leaf
+        assert chained == leaves, "leaf chain disagrees with tree order"
+        records = [k for leaf in leaves for k in leaf.keys]
+        assert _strictly_increasing(records), "global key order violated"
+        assert len(records) == self._size, "size counter out of sync"
+
+
+def _lower_bound(keys: list, key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: list, key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _subtree_min(node: _Node) -> Any:
+    while not node.is_leaf:
+        node = node.children[0]
+    return node.keys[0]
+
+
+def _strictly_increasing(keys: list) -> bool:
+    return all(a < b for a, b in zip(keys, keys[1:]))

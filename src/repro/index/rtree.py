@@ -1,0 +1,154 @@
+"""An in-memory R-tree with Sort-Tile-Recursive bulk loading.
+
+The substrate for the BBS skyline algorithm (Papadias et al., SIGMOD 2003,
+reference [7] of the paper): BBS traverses an R-tree over the data points
+best-first by the L1 distance of each minimum bounding rectangle (MBR) to
+the origin.
+
+Construction is STR (sort-tile-recursive, the standard bulk-loading method
+for static point sets): points are sorted by the first coordinate, cut
+into vertical slabs of ``~sqrt``-balanced size, each slab sorted by the
+next coordinate, and so on recursively through the dimensions; leaves then
+group consecutive points and the process repeats one level up on the leaf
+MBRs.  The result is a height-balanced tree with well-clustered,
+lightly-overlapping MBRs -- what BBS's pruning effectiveness depends on.
+
+The tree is static (bulk-load only): BBS never inserts, and keeping the
+class minimal keeps its invariants obvious.  :meth:`check_invariants`
+verifies height balance, fill factors and exact MBR containment and is
+exercised by the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RTree", "RTreeNode"]
+
+
+class RTreeNode:
+    """One R-tree node: an MBR plus children (subtrees or point ids)."""
+
+    __slots__ = ("lower", "upper", "children", "point_ids")
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        children: "list[RTreeNode] | None" = None,
+        point_ids: list[int] | None = None,
+    ):
+        self.lower = lower
+        self.upper = upper
+        self.children = children
+        self.point_ids = point_ids
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node stores point ids rather than subtrees."""
+        return self.point_ids is not None
+
+
+class RTree:
+    """A static, STR-bulk-loaded R-tree over a point matrix."""
+
+    def __init__(self, points: np.ndarray, capacity: int = 32):
+        if capacity < 2:
+            raise ValueError(f"capacity must be at least 2, got {capacity}")
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be a 2-d matrix, got {points.shape}")
+        self.points = points
+        self.capacity = capacity
+        n, d = points.shape
+        self.root: RTreeNode | None = None
+        if n == 0:
+            return
+        ids = self._str_order(np.arange(n), 0)
+        leaves: list[RTreeNode] = []
+        for start in range(0, n, capacity):
+            chunk = [int(i) for i in ids[start : start + capacity]]
+            block = points[chunk]
+            leaves.append(
+                RTreeNode(
+                    lower=block.min(axis=0),
+                    upper=block.max(axis=0),
+                    point_ids=chunk,
+                )
+            )
+        level = leaves
+        while len(level) > 1:
+            parents: list[RTreeNode] = []
+            order = self._str_order_nodes(level)
+            for start in range(0, len(order), capacity):
+                chunk = [level[i] for i in order[start : start + capacity]]
+                parents.append(
+                    RTreeNode(
+                        lower=np.min([c.lower for c in chunk], axis=0),
+                        upper=np.max([c.upper for c in chunk], axis=0),
+                        children=chunk,
+                    )
+                )
+            level = parents
+        self.root = level[0]
+
+    # -- construction helpers ------------------------------------------------
+
+    def _str_order(self, ids: np.ndarray, dim: int) -> np.ndarray:
+        """Sort-tile-recursive ordering of point ids starting at ``dim``."""
+        d = self.points.shape[1]
+        if dim >= d - 1 or len(ids) <= self.capacity:
+            order = np.argsort(self.points[ids, min(dim, d - 1)], kind="stable")
+            return ids[order]
+        n_slabs = max(
+            1, int(np.ceil((len(ids) / self.capacity) ** (1.0 / (d - dim))))
+        )
+        slab_size = int(np.ceil(len(ids) / n_slabs))
+        order = np.argsort(self.points[ids, dim], kind="stable")
+        ids = ids[order]
+        pieces = [
+            self._str_order(ids[start : start + slab_size], dim + 1)
+            for start in range(0, len(ids), slab_size)
+        ]
+        return np.concatenate(pieces)
+
+    def _str_order_nodes(self, nodes: list[RTreeNode]) -> list[int]:
+        """Order upper-level nodes by their MBR centres, first dimension."""
+        centres = np.array([(n.lower + n.upper) / 2.0 for n in nodes])
+        keys = [centres[:, c] for c in range(centres.shape[1] - 1, -1, -1)]
+        return [int(i) for i in np.lexsort(tuple(keys))]
+
+    # -- validation -------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert balance, fill and MBR exactness (tests only)."""
+        if self.root is None:
+            assert self.points.shape[0] == 0
+            return
+        depths: set[int] = set()
+        seen: list[int] = []
+
+        def walk(node: RTreeNode, depth: int) -> None:
+            if node.is_leaf:
+                depths.add(depth)
+                assert 1 <= len(node.point_ids) <= self.capacity
+                block = self.points[node.point_ids]
+                assert np.array_equal(node.lower, block.min(axis=0))
+                assert np.array_equal(node.upper, block.max(axis=0))
+                seen.extend(node.point_ids)
+                return
+            assert 1 <= len(node.children) <= self.capacity
+            for child in node.children:
+                assert np.all(node.lower <= child.lower)
+                assert np.all(child.upper <= node.upper)
+                walk(child, depth + 1)
+            assert np.array_equal(
+                node.lower, np.min([c.lower for c in node.children], axis=0)
+            )
+            assert np.array_equal(
+                node.upper, np.max([c.upper for c in node.children], axis=0)
+            )
+
+        walk(self.root, 0)
+        assert len(depths) == 1, "leaves at differing depths"
+        assert sorted(seen) == list(range(self.points.shape[0]))

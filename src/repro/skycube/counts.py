@@ -1,0 +1,63 @@
+"""The counters plotted in Figures 9 and 10.
+
+The paper contrasts two sizes as dimensionality grows:
+
+* the **number of subspace skyline objects** -- an object in the skylines of
+  ``m`` subspaces counts ``m`` times; this is the size of the SkyCube of
+  Yuan et al. and what Skyey inherently materialises;
+* the **number of skyline groups** -- the size of the compressed cube that
+  Stellar computes directly.
+
+The ratio between them is the compression the paper's whole argument rests
+on: when groups compress well (correlated/real data) Stellar wins, when
+they do not (anti-correlated data) Skyey can win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.stellar import stellar
+from ..core.types import Dataset
+from .shared import skycube_shared
+
+__all__ = ["CubeCounts", "cube_counts", "subspace_skyline_object_count"]
+
+
+@dataclass(frozen=True)
+class CubeCounts:
+    """Size statistics of one dataset's skyline cube."""
+
+    n_objects: int
+    n_dims: int
+    #: Size of the full-space skyline (the seeds).
+    n_full_space_skyline: int
+    #: Total (object, subspace) skyline memberships over all subspaces.
+    n_subspace_skyline_objects: int
+    #: Number of skyline groups (the compressed cube).
+    n_skyline_groups: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Subspace skyline objects per skyline group (higher = better)."""
+        if self.n_skyline_groups == 0:
+            return float("nan")
+        return self.n_subspace_skyline_objects / self.n_skyline_groups
+
+
+def subspace_skyline_object_count(dataset: Dataset) -> int:
+    """Total skyline memberships over all non-empty subspaces."""
+    cube = skycube_shared(dataset)
+    return sum(len(v) for v in cube.values())
+
+
+def cube_counts(dataset: Dataset) -> CubeCounts:
+    """Compute both sizes of Figures 9-10 for one dataset."""
+    result = stellar(dataset)
+    return CubeCounts(
+        n_objects=dataset.n_objects,
+        n_dims=dataset.n_dims,
+        n_full_space_skyline=len(result.seeds),
+        n_subspace_skyline_objects=subspace_skyline_object_count(dataset),
+        n_skyline_groups=len(result.groups),
+    )

@@ -1,0 +1,42 @@
+"""Shared-computation SkyCube: the traversal strategy inside Skyey.
+
+Visits the subspace tree depth-first from the full space, removing
+dimensions in decreasing index order so every non-empty subspace is reached
+exactly once.  The monotone sort key (coordinate sum) of a child subspace is
+derived from its parent's by subtracting one column, sharing work across the
+exponentially many subspaces the way Skyey shares its sorted lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.skyey import subspace_skyline_sorted
+from ..core.bitset import iter_bits
+from ..core.types import Dataset
+
+__all__ = ["skycube_shared"]
+
+
+def skycube_shared(dataset: Dataset) -> dict[int, list[int]]:
+    """Skyline of every non-empty subspace via the shared DFS traversal."""
+    minimized = dataset.minimized
+    n, n_dims = minimized.shape
+    result: dict[int, list[int]] = {}
+    if n == 0 or n_dims == 0:
+        return result
+
+    def visit(subspace: int, sums: np.ndarray, max_removable: int) -> None:
+        cols = list(iter_bits(subspace))
+        proj = minimized[:, cols]
+        result[subspace] = sorted(subspace_skyline_sorted(proj, sums))
+        for d in range(max_removable):
+            if not subspace & (1 << d):
+                continue
+            child = subspace & ~(1 << d)
+            if child == 0:
+                continue
+            visit(child, sums - minimized[:, d], d)
+
+    visit((1 << n_dims) - 1, minimized.sum(axis=1), n_dims)
+    return result

@@ -1,0 +1,83 @@
+"""Top-down SkyCube with parent-candidate pruning (Yuan et al., VLDB 2005).
+
+The naive and shared traversals scan *all* objects in every subspace.  The
+top-down idea of the SkyCube paper (their TDS family) prunes far harder
+using a containment property of subspace skylines:
+
+    For ``C ⊂ B``:  ``sky(C)  ⊆  sky(B) ∪ T_C``, where ``T_C`` is the set
+    of objects whose ``C``-projection *coincides* with that of some member
+    of ``sky(B)``.
+
+Proof sketch: take ``o ∈ sky(C) − sky(B)`` and a ``v ∈ sky(B)`` dominating
+``o`` in ``B`` (domination chains end in the skyline).  On ``C`` we have
+``v ≤ o`` throughout; a strict dimension would contradict ``o ∈ sky(C)``,
+so ``v_C = o_C`` -- i.e. ``o ∈ T_C``.  Under the *distinct value condition*
+``T_C`` collapses to the child-skyline itself and the candidate set is just
+``sky(B)``; value ties (which this library embraces -- they are what makes
+skyline groups non-trivial) add exactly the coincidence set.
+
+Correctness of scanning candidates only: every true child-skyline member is
+a candidate, and every dominated candidate is dominated by some member of
+``sky(C)``, which is itself a candidate -- so the skyline *within* the
+candidate set equals the skyline of the full object set.
+
+On correlated data the candidate sets are tiny and the cube falls out in
+near-linear total time; on anti-correlated data candidates approach the
+whole dataset and the advantage vanishes -- the same distribution story as
+everything else in this library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitset import iter_bits
+from ..core.types import Dataset
+from ..skyline.numpy_skyline import chunked_sorted_skyline
+from ..skyline.sfs import monotone_order
+
+__all__ = ["skycube_topdown"]
+
+
+def _rows_as_void(matrix: np.ndarray) -> np.ndarray:
+    """View each row as one opaque comparable scalar (for set membership)."""
+    contiguous = np.ascontiguousarray(matrix)
+    return contiguous.view(
+        np.dtype((np.void, contiguous.dtype.itemsize * contiguous.shape[1]))
+    ).reshape(-1)
+
+
+def skycube_topdown(dataset: Dataset) -> dict[int, list[int]]:
+    """Skyline of every non-empty subspace via parent-candidate pruning."""
+    minimized = dataset.minimized
+    n, n_dims = minimized.shape
+    result: dict[int, list[int]] = {}
+    if n == 0 or n_dims == 0:
+        return result
+    all_indices = np.arange(n)
+
+    def visit(subspace: int, candidates: np.ndarray, max_removable: int) -> None:
+        cols = list(iter_bits(subspace))
+        cand_proj = minimized[np.ix_(candidates, cols)]
+        order = monotone_order(cand_proj)
+        positions = chunked_sorted_skyline(cand_proj[order])
+        skyline = np.sort(candidates[order[positions]])
+        result[subspace] = [int(i) for i in skyline]
+
+        for d in range(max_removable):
+            if not subspace & (1 << d):
+                continue
+            child = subspace & ~(1 << d)
+            if child == 0:
+                continue
+            child_cols = list(iter_bits(child))
+            # Children candidates: the parent skyline plus every object
+            # coinciding with a parent-skyline member on the child space.
+            member_rows = _rows_as_void(minimized[np.ix_(skyline, child_cols)])
+            all_rows = _rows_as_void(minimized[:, child_cols])
+            coincide = np.isin(all_rows, member_rows)
+            child_candidates = all_indices[coincide]
+            visit(child, child_candidates, d)
+
+    visit((1 << n_dims) - 1, all_indices, n_dims)
+    return result

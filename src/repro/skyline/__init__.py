@@ -1,0 +1,38 @@
+"""Full-space and subspace skyline algorithms (substrate).
+
+The paper's Stellar algorithm needs one skyline computation in the full
+space; its Skyey baseline needs one per subspace.  This package implements
+the classical algorithms the paper cites as related work so the library is
+self-contained:
+
+* :mod:`repro.skyline.bnl` -- block-nested-loops (Borzsonyi et al., ICDE'01)
+* :mod:`repro.skyline.sfs` -- sort-first skyline (Chomicki et al., ICDE'03)
+* :mod:`repro.skyline.divide_conquer` -- divide & conquer (Borzsonyi et al.)
+* :mod:`repro.skyline.less` -- LESS-style sort+eliminate (Godfrey et al., VLDB'05)
+* :mod:`repro.skyline.bitmap` -- bit-parallel dominance tests (Tan et al., VLDB'01)
+* :mod:`repro.skyline.nn` -- nearest-neighbor partitioning (Kossmann et al., VLDB'02)
+* :mod:`repro.skyline.bbs` -- branch-and-bound over an R-tree (Papadias et al., SIGMOD'03)
+* :mod:`repro.skyline.numpy_skyline` -- vectorised SFS used at benchmark scale
+
+All algorithms share one contract (see :mod:`repro.skyline.base`): they take
+a *minimized* value matrix (smaller is better everywhere) plus a subspace
+bitmask and return the sorted indices of the skyline objects, with the
+paper's tie semantics (equal projections never dominate each other).
+
+Beyond the classical operator, :mod:`repro.skyline.kdominant` implements
+the k-dominant skyline relaxation (Chan et al., SIGMOD'06) from the
+paper's related-work discussion.
+"""
+
+from .base import is_skyline_member, skyline_brute
+from .kdominant import k_dominant_skyline, k_dominates
+from .registry import SKYLINE_ALGORITHMS, compute_skyline
+
+__all__ = [
+    "compute_skyline",
+    "SKYLINE_ALGORITHMS",
+    "skyline_brute",
+    "is_skyline_member",
+    "k_dominant_skyline",
+    "k_dominates",
+]

@@ -1,0 +1,88 @@
+"""Shared contract and reference implementation for skyline algorithms.
+
+Contract
+--------
+Every algorithm in this package is a function::
+
+    algorithm(minimized: np.ndarray, subspace: int | None = None) -> list[int]
+
+* ``minimized`` is an ``(n, d)`` matrix in which smaller is better on every
+  column (see :attr:`repro.core.types.Dataset.minimized`).
+* ``subspace`` is a dimension bitmask; ``None`` means the full space.
+* The return value is the sorted list of indices of the skyline objects.
+
+Tie semantics follow Section 2 of the paper exactly: ``u`` dominates ``v``
+in subspace ``B`` iff ``u.D <= v.D`` for every ``D`` in ``B`` *and* the
+inequality is strict for at least one dimension.  In particular objects with
+identical projections never dominate each other, so a non-dominated shared
+value puts *all* of its owners in the skyline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitset import bit_list, full_mask
+
+__all__ = [
+    "subspace_columns",
+    "is_skyline_member",
+    "skyline_brute",
+    "dominates_rows",
+]
+
+
+def subspace_columns(minimized: np.ndarray, subspace: int | None) -> np.ndarray:
+    """View of the matrix restricted to the subspace's columns.
+
+    Raises :class:`ValueError` for the empty subspace, which is not a valid
+    query (the paper only considers non-empty subspaces).
+    """
+    n, d = minimized.shape
+    if subspace is None or subspace == full_mask(d):
+        return minimized
+    if subspace == 0:
+        raise ValueError("the empty subspace has no skyline")
+    if subspace >> d:
+        raise ValueError(
+            f"subspace {subspace:#x} references dimensions beyond the {d} available"
+        )
+    return minimized[:, bit_list(subspace)]
+
+
+def dominates_rows(u: np.ndarray, v: np.ndarray) -> bool:
+    """True when row ``u`` dominates row ``v`` (both already projected)."""
+    return bool(np.all(u <= v) and np.any(u < v))
+
+
+def is_skyline_member(
+    minimized: np.ndarray, i: int, subspace: int | None = None
+) -> bool:
+    """Definition-level membership test: is object ``i`` non-dominated?
+
+    Quadratic in the worst case; used by validators and tests, not by the
+    algorithms themselves.
+    """
+    proj = subspace_columns(minimized, subspace)
+    candidate = proj[i]
+    no_worse = np.all(proj <= candidate, axis=1)
+    strictly_better = np.any(proj < candidate, axis=1)
+    dominators = no_worse & strictly_better
+    return not bool(dominators.any())
+
+
+def skyline_brute(minimized: np.ndarray, subspace: int | None = None) -> list[int]:
+    """Reference skyline: test every object against every other.
+
+    O(n^2 d); the ground truth the faster algorithms are verified against.
+    """
+    proj = subspace_columns(minimized, subspace)
+    n = proj.shape[0]
+    result = []
+    for i in range(n):
+        candidate = proj[i]
+        no_worse = np.all(proj <= candidate, axis=1)
+        strictly_better = np.any(proj < candidate, axis=1)
+        if not bool((no_worse & strictly_better).any()):
+            result.append(i)
+    return result

@@ -1,0 +1,67 @@
+"""Bitmap skyline (Tan, Eng, Ooi, VLDB 2001), tie-exact.
+
+The bitmap technique trades space for bit-parallel dominance tests.  For
+every dimension ``i`` it precomputes, for each distinct value ``v``, the
+bitmap of objects whose ``i``-th value is **at most** ``v`` (the cumulative
+"less-or-equal slice").  For a probe object ``p``:
+
+* ``LE(p) = AND_i slice_i(p_i)`` -- the objects no worse than ``p`` on
+  every dimension;
+* ``EQ(p) = AND_i eq_i(p_i)``   -- the objects identical to ``p``.
+
+``p`` is dominated iff some object is no worse everywhere and different
+somewhere, i.e. iff ``LE(p)`` strictly contains ``EQ(p)``.  This handles
+value ties exactly (the original paper assumes distinct values; the
+``EQ``-correction is the standard generalisation and matches this
+library's dominance semantics).
+
+Bitmaps are packed ``uint8`` rows via ``numpy.packbits``; each probe costs
+``O(n·d / 8)`` byte-ops, the whole skyline ``O(n^2 d / 8)`` -- the same
+asymptotics as BNL but with tiny constants, which is exactly the trade the
+original paper advertises.  Space is ``O(n · Σ_i |distinct_i|)`` bits, so
+the algorithm shines on low-cardinality (heavily tied) data -- the regime
+this library's 4-decimal-truncated and integer datasets live in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import subspace_columns
+
+__all__ = ["skyline_bitmap"]
+
+
+def skyline_bitmap(minimized: np.ndarray, subspace: int | None = None) -> list[int]:
+    """Compute the skyline with per-dimension cumulative bitmaps."""
+    proj = subspace_columns(minimized, subspace)
+    n, d = proj.shape
+    if n == 0:
+        return []
+
+    le_slices: list[np.ndarray] = []  # per dim: (n_unique, n/8) packed LE rows
+    eq_slices: list[np.ndarray] = []
+    ranks = np.empty((n, d), dtype=np.int64)
+    for i in range(d):
+        column = proj[:, i]
+        unique, inverse = np.unique(column, return_inverse=True)
+        ranks[:, i] = inverse
+        # eq[r] = objects with rank exactly r; le[r] = objects with rank <= r
+        eq = np.zeros((len(unique), n), dtype=bool)
+        eq[inverse, np.arange(n)] = True
+        le = np.logical_or.accumulate(eq, axis=0)
+        eq_slices.append(np.packbits(eq, axis=1))
+        le_slices.append(np.packbits(le, axis=1))
+
+    skyline: list[int] = []
+    for p in range(n):
+        le = le_slices[0][ranks[p, 0]]
+        eq = eq_slices[0][ranks[p, 0]]
+        for i in range(1, d):
+            le = le & le_slices[i][ranks[p, i]]
+            eq = eq & eq_slices[i][ranks[p, i]]
+        # p is dominated iff LE(p) strictly contains EQ(p).
+        if not np.array_equal(le, eq):
+            continue
+        skyline.append(p)
+    return skyline

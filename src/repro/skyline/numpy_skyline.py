@@ -1,0 +1,80 @@
+"""Vectorised skyline used at benchmark scale.
+
+The algorithm is SFS (sort by the monotone coordinate sum, then one filtered
+scan), with the scan organised in *chunks*: each chunk of candidates is
+first filtered against the accepted-skyline window with one broadcast
+comparison, and only the survivors go through the short serial pass that
+resolves intra-chunk dominance.  This keeps the Python interpreter out of
+the inner loop without changing the algorithm's comparison semantics.
+
+Correctness of chunking rests on the SFS invariant: under a monotone sort
+key a candidate can only be dominated by objects *earlier* in the order,
+and dominance is transitive, so being undominated by the accepted window
+plus the accepted members of one's own chunk is equivalent to being
+undominated outright.
+
+On correlated inputs (tiny skylines) this runs in near-linear time; on
+anti-correlated inputs (huge skylines) it degrades towards quadratic like
+every window algorithm -- exactly the cost profile the discussion of the
+paper's Figure 11(c) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import subspace_columns
+from .sfs import monotone_order
+
+__all__ = ["skyline_numpy", "chunked_sorted_skyline"]
+
+#: Candidates filtered per broadcast; keeps the comparison blocks in cache.
+_CHUNK = 512
+#: Window rows compared per broadcast (bounds temporary memory).
+_WINDOW_BLOCK = 4096
+
+
+def chunked_sorted_skyline(ordered: np.ndarray, chunk: int = _CHUNK) -> list[int]:
+    """Skyline positions of a matrix already sorted by a monotone key.
+
+    Returns positions *into the sorted matrix*, in increasing order.
+    """
+    n, d = ordered.shape
+    window = np.empty((0, d), dtype=ordered.dtype)
+    accepted: list[int] = []
+    for start in range(0, n, chunk):
+        block = ordered[start : start + chunk]
+        c = block.shape[0]
+        alive = np.ones(c, dtype=bool)
+        for ws in range(0, window.shape[0], _WINDOW_BLOCK):
+            wblock = window[ws : ws + _WINDOW_BLOCK]
+            le = np.all(wblock[None, :, :] <= block[:, None, :], axis=2)
+            lt = np.any(wblock[None, :, :] < block[:, None, :], axis=2)
+            alive &= ~np.any(le & lt, axis=1)
+            if not alive.any():
+                break
+        block_accepted: list[int] = []
+        for i in np.flatnonzero(alive):
+            candidate = block[i]
+            if block_accepted:
+                prior = block[block_accepted]
+                no_worse = np.all(prior <= candidate, axis=1)
+                if bool(no_worse.any()) and bool(
+                    np.any(prior[no_worse] < candidate, axis=1).any()
+                ):
+                    continue
+            block_accepted.append(int(i))
+            accepted.append(start + int(i))
+        if block_accepted:
+            window = np.vstack([window, block[block_accepted]])
+    return accepted
+
+
+def skyline_numpy(minimized: np.ndarray, subspace: int | None = None) -> list[int]:
+    """Compute the skyline with the chunk-vectorised SFS strategy."""
+    proj = subspace_columns(minimized, subspace)
+    if proj.shape[0] == 0:
+        return []
+    order = monotone_order(proj)
+    positions = chunked_sorted_skyline(proj[order])
+    return sorted(int(order[p]) for p in positions)

@@ -1,0 +1,80 @@
+"""Algorithm registry and the user-facing :func:`compute_skyline` entry point."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..core.types import Dataset
+from .base import skyline_brute
+from .bbs import skyline_bbs
+from .bitmap import skyline_bitmap
+from .bnl import skyline_bnl
+from .divide_conquer import skyline_divide_conquer
+from .less import skyline_less
+from .nn import skyline_nn
+from .numpy_skyline import skyline_numpy
+from .sfs import skyline_sfs
+
+__all__ = ["SKYLINE_ALGORITHMS", "compute_skyline"]
+
+SkylineFn = Callable[[np.ndarray, int | None], list[int]]
+
+#: All registered skyline algorithms, by name.
+SKYLINE_ALGORITHMS: dict[str, SkylineFn] = {
+    "brute": skyline_brute,
+    "bnl": skyline_bnl,
+    "sfs": skyline_sfs,
+    "dc": skyline_divide_conquer,
+    "less": skyline_less,
+    "bitmap": skyline_bitmap,
+    "bbs": skyline_bbs,
+    "nn": skyline_nn,
+    "numpy": skyline_numpy,
+}
+
+#: Input size above which ``algorithm="auto"`` switches to the vectorised
+#: implementation; below it plain SFS has less overhead.
+_AUTO_THRESHOLD = 128
+
+
+def compute_skyline(
+    data: Dataset | np.ndarray,
+    subspace: int | None = None,
+    algorithm: str = "auto",
+) -> list[int]:
+    """Compute the skyline of ``data`` in ``subspace``.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.core.types.Dataset` (preference directions are
+        honoured) or an already-minimized numpy matrix.
+    subspace:
+        Dimension bitmask; ``None`` means the full space.
+    algorithm:
+        One of ``"auto"`` or a key of :data:`SKYLINE_ALGORITHMS`.
+
+    Returns
+    -------
+    Sorted indices of the skyline objects.
+    """
+    if isinstance(data, Dataset):
+        matrix = data.minimized
+    else:
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-d matrix, got shape {matrix.shape}")
+    if algorithm == "auto":
+        name = "numpy" if matrix.shape[0] >= _AUTO_THRESHOLD else "sfs"
+    else:
+        name = algorithm
+    try:
+        fn = SKYLINE_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(SKYLINE_ALGORITHMS))
+        raise ValueError(
+            f"unknown skyline algorithm {algorithm!r}; known: auto, {known}"
+        ) from None
+    return fn(matrix, subspace)

@@ -1,0 +1,136 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro import Dataset
+
+
+@pytest.fixture
+def running_example() -> Dataset:
+    """The 5-object, 4-dimensional table of Figure 2 (smaller is better)."""
+    return Dataset.from_rows(
+        [
+            [5, 6, 10, 7],  # P1
+            [2, 6, 8, 3],   # P2
+            [5, 4, 9, 3],   # P3
+            [6, 4, 8, 5],   # P4
+            [2, 4, 9, 3],   # P5
+        ],
+        names=("A", "B", "C", "D"),
+    )
+
+
+@pytest.fixture
+def example1() -> Dataset:
+    """The 5-object, 2-dimensional set of Example 1 / Figure 1.
+
+    Values read off the paper's scatter plot: a=(1, 6), b=(2, 4),
+    c=(4, 3.5), d=(3.5, 2.5), e=(6, 1).  The stated subspace skylines
+    (XY: b, d, e; X: a, b; Y: e) pin the geometry:
+    a shares X=... no sharing; a is lowest in X together with nothing --
+    the paper lists the X skyline as {a, b}, so a and b tie on X = 2.
+    """
+    return Dataset.from_rows(
+        [
+            [2.0, 6.0],  # a
+            [2.0, 4.0],  # b
+            [4.0, 3.5],  # c
+            [3.5, 2.5],  # d
+            [6.0, 1.0],  # e
+        ],
+        names=("X", "Y"),
+        labels=("a", "b", "c", "d", "e"),
+    )
+
+
+@pytest.fixture
+def flight_routes() -> Dataset:
+    """The flight-ticket catalogue of examples/flight_tickets.py."""
+    rows = [
+        [980.0, 14.5, 1],
+        [720.0, 18.0, 2],
+        [980.0, 16.0, 1],
+        [1450.0, 12.0, 0],
+        [720.0, 21.5, 3],
+        [860.0, 14.5, 1],
+        [1450.0, 13.0, 1],
+        [990.0, 18.0, 2],
+    ]
+    labels = (
+        "LH-FRA", "BUDGET-LHR", "KL-AMS", "DIRECT", "MULTIHOP",
+        "TK-YVR", "PREMIUM", "SLOW-EXPENSIVE",
+    )
+    return Dataset.from_rows(
+        rows,
+        names=("price", "traveltime", "stops"),
+        directions=("min", "min", "min"),
+        labels=labels,
+    )
+
+
+def tiny_int_datasets(
+    max_objects: int = 10, max_dims: int = 4, max_value: int = 4
+) -> st.SearchStrategy[Dataset]:
+    """Datasets over a small integer grid: heavy ties and duplicates.
+
+    The small value domain is deliberate -- it makes multi-object c-groups,
+    shared decisive-subspace values and exact duplicates common, which is
+    where the interesting (and historically buggy) code paths live.
+    """
+    def build(payload) -> Dataset:
+        d, rows = payload
+        return Dataset.from_rows([row[:d] for row in rows])
+
+    return st.integers(min_value=1, max_value=max_dims).flatmap(
+        lambda d: st.tuples(
+            st.just(d),
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=max_value),
+                    min_size=d,
+                    max_size=d,
+                ),
+                min_size=1,
+                max_size=max_objects,
+            ),
+        )
+    ).map(build)
+
+
+def mixed_float_datasets(
+    max_objects: int = 12, max_dims: int = 4
+) -> st.SearchStrategy[Dataset]:
+    """Datasets mixing a coarse float grid (ties) with distinct values."""
+    value = st.one_of(
+        st.integers(min_value=0, max_value=3).map(float),
+        st.floats(
+            min_value=0.0,
+            max_value=1.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ).map(lambda x: round(x, 1)),
+    )
+
+    def build(payload) -> Dataset:
+        d, rows = payload
+        return Dataset.from_rows([row[:d] for row in rows])
+
+    return st.integers(min_value=1, max_value=max_dims).flatmap(
+        lambda d: st.tuples(
+            st.just(d),
+            st.lists(
+                st.lists(value, min_size=d, max_size=d),
+                min_size=1,
+                max_size=max_objects,
+            ),
+        )
+    ).map(build)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,112 @@
+"""Tests for the cube analytics module."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bitset import popcount
+from repro.core.types import Dataset
+from repro.cube import (
+    CompressedSkylineCube,
+    decisive_size_histogram,
+    dimension_influence,
+    hidden_gems,
+    robust_winners,
+)
+from repro.skyline import compute_skyline
+
+from .conftest import tiny_int_datasets
+
+
+@pytest.fixture
+def example1_cube(example1):
+    return CompressedSkylineCube.build(example1)
+
+
+@pytest.fixture
+def running_cube(running_example):
+    return CompressedSkylineCube.build(running_example)
+
+
+class TestHiddenGems:
+    def test_object_d_is_the_canonical_gem(self, example1, example1_cube):
+        """Example 1: d wins only in the full space XY."""
+        gems = hidden_gems(example1_cube, min_criteria=2)
+        labels = {example1.labels[obj] for obj, _ in gems}
+        assert "d" in labels
+        assert "e" not in labels  # e already wins on Y alone
+
+    def test_running_example_has_no_gems(self, running_cube):
+        """Every winner of the running example already wins on a single
+        criterion through some group (P2 via (P2P4, C), P5 via (P2P5, A),
+        etc.), so no object needs >= 2 combined criteria."""
+        assert hidden_gems(running_cube, min_criteria=2) == []
+
+    def test_threshold(self, running_cube):
+        assert hidden_gems(running_cube, min_criteria=3) == []
+        with pytest.raises(ValueError):
+            hidden_gems(running_cube, min_criteria=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tiny_int_datasets(max_objects=8, max_dims=3, max_value=3))
+    def test_gem_definition(self, ds: Dataset):
+        """A gem of threshold k wins in no subspace smaller than k dims."""
+        cube = CompressedSkylineCube.build(ds)
+        gem_set = {obj for obj, _ in hidden_gems(cube, min_criteria=2)}
+        for obj in range(ds.n_objects):
+            wins_small = any(
+                obj in compute_skyline(ds, s, algorithm="brute")
+                for s in range(1, 1 << ds.n_dims)
+                if popcount(s) == 1
+            )
+            wins_anywhere = bool(cube.groups_of(obj))
+            assert (obj in gem_set) == (wins_anywhere and not wins_small)
+
+
+class TestRobustWinners:
+    def test_example1(self, example1, example1_cube):
+        winners = {
+            example1.labels[obj]: dims for obj, dims in robust_winners(example1_cube)
+        }
+        assert set(winners) == {"a", "b", "e"}  # (ab, X) and (e, Y)
+        assert winners["e"] == [1]
+
+    def test_running_example(self, running_cube):
+        winners = dict(robust_winners(running_cube))
+        # single-dim decisives: C (P2P4), A (P2P5), D (P2P3P5), B (P3P4P5)
+        assert set(winners) == {1, 2, 3, 4}
+        assert winners[1] == [0, 2, 3]  # P2 wins on A, C and D alone
+
+
+class TestHistogramsAndInfluence:
+    def test_decisive_size_histogram(self, running_cube):
+        # decisive subspaces: AC, CD, BC, AB, C, A, BD, D, B -> sizes
+        assert decisive_size_histogram(running_cube) == {1: 4, 2: 5}
+
+    def test_dimension_influence(self, running_example, running_cube):
+        influence = dict(dimension_influence(running_cube))
+        assert set(influence) == {"A", "B", "C", "D"}
+        # every dimension decides at least one group in the running example
+        assert all(v >= 1 for v in influence.values())
+
+    def test_constant_dimension_decides_the_all_objects_group(self):
+        """A constant column ties *everyone*, so the one group holding all
+        objects is decisive on it (exclusivity is vacuous) -- a subtle
+        consequence of Definition 2 worth pinning."""
+        ds = Dataset.from_rows([[1, 2, 5], [2, 1, 5], [3, 3, 5]])
+        cube = CompressedSkylineCube.build(ds)
+        everyone = next(g for g in cube.groups if len(g.members) == 3)
+        assert everyone.decisive == (0b100,)
+        assert dict(dimension_influence(cube))["C"] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(tiny_int_datasets(max_objects=8, max_dims=3, max_value=3))
+    def test_influence_matches_direct_recount(self, ds: Dataset):
+        cube = CompressedSkylineCube.build(ds)
+        influence = dict(dimension_influence(cube))
+        for d in range(ds.n_dims):
+            expected = sum(
+                1
+                for g in cube.groups
+                if any(c & (1 << d) for c in g.decisive)
+            )
+            assert influence[ds.names[d]] == expected

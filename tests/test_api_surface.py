@@ -1,0 +1,88 @@
+"""Public-API surface tests: imports, re-exports, numeric robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_top_level_workflow(self):
+        ds = repro.Dataset.from_rows([[1, 2], [2, 1]])
+        result = repro.stellar(ds)
+        cube = repro.CompressedSkylineCube(ds, result.groups)
+        assert cube.skyline_of(0b11) == [0, 1]
+        assert repro.compute_skyline(ds) == [0, 1]
+        assert len(repro.skyey(ds).groups) == len(result.groups)
+
+    def test_main_module_invocable(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "bench" in proc.stdout
+
+
+class TestNumericRobustness:
+    """The cube semantics must be scale- and sign-agnostic."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-3, max_value=0), min_size=2, max_size=2
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_negative_values(self, rows):
+        from repro.baselines import naive_compressed_cube
+
+        ds = repro.Dataset.from_rows(rows)
+        assert [(g.key, g.decisive) for g in repro.stellar(ds).groups] == [
+            (g.key, g.decisive) for g in naive_compressed_cube(ds)
+        ]
+
+    def test_large_magnitudes(self):
+        from repro.baselines import naive_compressed_cube
+
+        ds = repro.Dataset.from_rows(
+            [
+                [1e15, 2e15, 1e15],
+                [2e15, 1e15, 1e15],
+                [1e15, 2e15, 3e15],
+            ]
+        )
+        assert [(g.key, g.decisive) for g in repro.stellar(ds).groups] == [
+            (g.key, g.decisive) for g in naive_compressed_cube(ds)
+        ]
+
+    def test_translation_invariance(self):
+        """Shifting all values of a dimension never changes the cube."""
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 4, size=(8, 3)).astype(float)
+        shifted = base + np.array([100.0, -250.0, 0.5])
+        a = repro.stellar(repro.Dataset.from_rows(base.tolist()))
+        b = repro.stellar(repro.Dataset.from_rows(shifted.tolist()))
+        assert [(g.key, g.decisive) for g in a.groups] == [
+            (g.key, g.decisive) for g in b.groups
+        ]
+
+    def test_rejects_infinities(self):
+        with pytest.raises(ValueError, match="finite"):
+            repro.Dataset.from_rows([[float("inf"), 1.0]])

@@ -1,0 +1,146 @@
+"""Tests for the B+-tree index substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BPlusTree
+
+ORDERS = (3, 4, 5, 8, 64)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.get(1) is None
+        assert tree.get(1, "x") == "x"
+        assert 1 not in tree
+        with pytest.raises(KeyError):
+            tree.min_item()
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        for k in (5, 1, 9, 3, 7):
+            tree.insert(k, k * 10)
+        assert len(tree) == 5
+        assert tree.get(3) == 30
+        assert 9 in tree
+        assert tree.min_item() == (1, 10)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_duplicate_insert_rejected(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        with pytest.raises(KeyError, match="duplicate"):
+            tree.insert(1, "b")
+        assert tree.get(1) == "a"
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        for k in range(20):
+            tree.insert(k, k)
+        for k in range(0, 20, 2):
+            assert tree.delete(k) == k
+        assert [k for k, _ in tree.items()] == list(range(1, 20, 2))
+        with pytest.raises(KeyError):
+            tree.delete(0)
+
+    def test_delete_to_empty_and_reuse(self):
+        tree = BPlusTree(order=3)
+        for k in range(10):
+            tree.insert(k, k)
+        for k in range(10):
+            tree.delete(k)
+        assert len(tree) == 0
+        tree.insert(42, "back")
+        assert tree.get(42) == "back"
+        tree.check_invariants()
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert((1.0, 2.0, 3), "a")
+        tree.insert((1.0, 1.0, 7), "b")
+        assert tree.min_item()[1] == "b"
+
+
+class TestRange:
+    def setup_method(self):
+        self.tree = BPlusTree(order=4)
+        for k in range(0, 100, 3):
+            self.tree.insert(k, -k)
+
+    def test_half_open(self):
+        got = [k for k, _ in self.tree.range(10, 30)]
+        assert got == [12, 15, 18, 21, 24, 27]
+
+    def test_open_ended(self):
+        assert [k for k, _ in self.tree.range(90, None)] == [90, 93, 96, 99]
+        assert [k for k, _ in self.tree.range(None, 7)] == [0, 3, 6]
+        assert len(list(self.tree.range())) == len(self.tree)
+
+    def test_empty_window(self):
+        assert list(self.tree.range(13, 14)) == []
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("order", ORDERS)
+    @pytest.mark.parametrize("n", (0, 1, 2, 3, 7, 50, 333))
+    def test_sizes_and_orders(self, order, n):
+        pairs = [(i, str(i)) for i in range(n)]
+        tree = BPlusTree.bulk_load(pairs, order=order)
+        tree.check_invariants()
+        assert list(tree.items()) == pairs
+        assert len(tree) == n
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BPlusTree.bulk_load([(2, 0), (1, 0)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BPlusTree.bulk_load([(1, 0), (1, 1)])
+
+    def test_mutation_after_bulk_load(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(100)], order=5)
+        tree.insert(3.5, "new")
+        tree.delete(50)
+        tree.check_invariants()
+        assert tree.get(3.5) == "new"
+        assert 50 not in tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=16),
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=60)),
+        max_size=80,
+    ),
+)
+def test_model_based(order, operations):
+    """The tree behaves like a sorted dict under arbitrary op sequences."""
+    tree = BPlusTree(order=order)
+    model: dict[int, int] = {}
+    for is_insert, key in operations:
+        if is_insert:
+            if key in model:
+                with pytest.raises(KeyError):
+                    tree.insert(key, key)
+            else:
+                tree.insert(key, key)
+                model[key] = key
+        else:
+            if key in model:
+                assert tree.delete(key) == model.pop(key)
+            else:
+                with pytest.raises(KeyError):
+                    tree.delete(key)
+        tree.check_invariants()
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)

@@ -1,0 +1,146 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def routes_csv(tmp_path, flight_routes):
+    from repro.data import save_csv
+
+    path = tmp_path / "routes.csv"
+    save_csv(flight_routes, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "fig8"])
+        assert args.scale == "default"
+        assert args.out is None
+
+
+class TestGenerate:
+    def test_generate_synthetic(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        rc = main([
+            "generate", "--distribution", "anti", "--n", "30",
+            "--d", "3", "--seed", "4", "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "30 x 3" in capsys.readouterr().out
+
+    def test_generate_nba(self, tmp_path, capsys):
+        out = tmp_path / "nba.csv"
+        rc = main([
+            "generate", "--distribution", "nba", "--n", "50", "--out", str(out),
+        ])
+        assert rc == 0
+        from repro.data import load_csv
+
+        ds = load_csv(out)
+        assert ds.n_dims == 17
+
+
+class TestRun:
+    def test_run_stellar(self, routes_csv, capsys):
+        assert main(["run", "--input", routes_csv]) == 0
+        out = capsys.readouterr().out
+        assert "stellar:" in out
+        assert "groups" in out
+
+    def test_run_skyey(self, routes_csv, capsys):
+        assert main(["run", "--input", routes_csv, "--algorithm", "skyey"]) == 0
+        out = capsys.readouterr().out
+        assert "skyey:" in out
+        assert "subspaces searched" in out
+
+    def test_run_limits_output(self, routes_csv, capsys):
+        assert main(["run", "--input", routes_csv, "--max-groups", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more groups" in out
+
+
+class TestSkyline:
+    def test_full_space(self, routes_csv, capsys):
+        assert main(["skyline", "--input", routes_csv]) == 0
+        out = capsys.readouterr().out
+        assert "full space" in out
+        assert "BUDGET-LHR" in out
+
+    def test_subspace(self, routes_csv, capsys):
+        assert main([
+            "skyline", "--input", routes_csv, "--subspace", "price,stops",
+        ]) == 0
+        assert "3 objects" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_skyline_of(self, routes_csv, capsys):
+        assert main(["query", "--input", routes_csv, "--skyline-of", "price"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["BUDGET-LHR", "MULTIHOP"]
+
+    def test_where_wins(self, routes_csv, capsys):
+        assert main(["query", "--input", routes_csv, "--where-wins", "DIRECT"]) == 0
+        out = capsys.readouterr().out
+        assert "traveltime" in out
+
+
+class TestCube:
+    def test_precompute_and_query(self, routes_csv, tmp_path, capsys):
+        cube_path = tmp_path / "routes.cube"
+        assert main(["cube", "--input", routes_csv, "--out", str(cube_path)]) == 0
+        assert "skyline groups" in capsys.readouterr().out
+        assert main([
+            "query", "--input", routes_csv, "--cube", str(cube_path),
+            "--skyline-of", "price",
+        ]) == 0
+        assert capsys.readouterr().out.splitlines() == ["BUDGET-LHR", "MULTIHOP"]
+
+    def test_top_frequent(self, routes_csv, capsys):
+        assert main([
+            "query", "--input", routes_csv, "--top-frequent", "2",
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert "\t" in lines[0]
+
+
+class TestAnalyze:
+    def test_analyze_fresh(self, routes_csv, capsys):
+        assert main(["analyze", "--input", routes_csv]) == 0
+        out = capsys.readouterr().out
+        assert "skyline groups" in out
+        assert "dimension influence" in out
+        assert "robust winners" in out
+
+    def test_analyze_from_saved_cube(self, routes_csv, tmp_path, capsys):
+        cube_path = tmp_path / "c.json"
+        assert main(["cube", "--input", routes_csv, "--out", str(cube_path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "analyze", "--input", routes_csv, "--cube", str(cube_path),
+        ]) == 0
+        assert "compression" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_fig10_smoke(self, tmp_path, capsys):
+        rc = main([
+            "bench", "fig10", "--scale", "smoke", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert (tmp_path / "figure_10.txt").exists()
+
+    def test_bench_unknown_figure(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            main(["bench", "fig99", "--scale", "smoke"])

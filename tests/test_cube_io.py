@@ -1,0 +1,70 @@
+"""Tests for compressed-cube persistence."""
+
+import json
+
+import pytest
+
+from repro.core.stellar import stellar
+from repro.cube import CompressedSkylineCube, load_cube, save_cube
+from repro.cube.io import dataset_fingerprint
+
+
+class TestRoundTrip:
+    def test_groups_survive(self, tmp_path, running_example):
+        cube = CompressedSkylineCube(
+            running_example, stellar(running_example).groups
+        )
+        path = tmp_path / "cube.json"
+        save_cube(cube, path)
+        loaded = load_cube(path, running_example)
+        assert [(g.key, g.decisive, g.projection) for g in loaded.groups] == [
+            (g.key, g.decisive, g.projection) for g in cube.groups
+        ]
+
+    def test_loaded_cube_answers_queries(self, tmp_path, flight_routes):
+        cube = CompressedSkylineCube.build(flight_routes)
+        path = tmp_path / "routes.cube"
+        save_cube(cube, path)
+        loaded = load_cube(path, flight_routes)
+        mask = flight_routes.parse_subspace("price,stops")
+        assert loaded.skyline_of(mask) == cube.skyline_of(mask)
+        assert loaded.top_frequent(3) == cube.top_frequent(3)
+
+    def test_file_is_valid_json(self, tmp_path, running_example):
+        cube = CompressedSkylineCube.build(running_example)
+        path = tmp_path / "cube.json"
+        save_cube(cube, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-skyline-cube/1"
+        assert payload["n_objects"] == 5
+        assert len(payload["groups"]) == 8
+
+
+class TestValidation:
+    def test_fingerprint_differs_across_datasets(
+        self, running_example, flight_routes
+    ):
+        assert dataset_fingerprint(running_example) != dataset_fingerprint(
+            flight_routes
+        )
+
+    def test_wrong_dataset_rejected(
+        self, tmp_path, running_example, flight_routes
+    ):
+        cube = CompressedSkylineCube.build(running_example)
+        path = tmp_path / "cube.json"
+        save_cube(cube, path)
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            load_cube(path, flight_routes)
+
+    def test_garbage_file_rejected(self, tmp_path, running_example):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {{{")
+        with pytest.raises(ValueError, match="not a cube file"):
+            load_cube(path, running_example)
+
+    def test_wrong_format_rejected(self, tmp_path, running_example):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro-skyline-cube"):
+            load_cube(path, running_example)

@@ -1,0 +1,77 @@
+"""Wider differential fuzz: Stellar vs Skyey beyond the oracle's reach.
+
+The definitional oracle is exponential, which caps the random datasets it
+can referee.  Stellar and Skyey are *independent* implementations built on
+different principles (seed-lattice extension vs exhaustive subspace
+search), so their agreement on larger inputs -- more objects, more
+dimensions, nastier tie patterns -- is strong extra evidence, at sizes the
+oracle cannot check.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import skyey
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+
+from .conftest import tiny_int_datasets
+
+
+def canonical(groups):
+    return [(g.key, g.decisive, g.projection) for g in groups]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=40, max_dims=5, max_value=4))
+def test_agreement_medium(ds: Dataset):
+    assert canonical(stellar(ds).groups) == canonical(skyey(ds).groups)
+
+
+@settings(max_examples=15, deadline=None)
+@given(tiny_int_datasets(max_objects=30, max_dims=6, max_value=3))
+def test_agreement_six_dims(ds: Dataset):
+    assert canonical(stellar(ds).groups) == canonical(skyey(ds).groups)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_agreement_binary_values(n, seed):
+    """All-binary data: the most extreme tie regime possible."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    ds = Dataset(values=rng.integers(0, 2, size=(n, 4)).astype(float))
+    assert canonical(stellar(ds).groups) == canonical(skyey(ds).groups)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_agreement_single_column_ties(seed):
+    """One shared column, distinct elsewhere: long c-group chains."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    n = 25
+    values = rng.permutation(n * 3).reshape(n, 3).astype(float)
+    values[:, 0] = rng.integers(0, 3, size=n)
+    ds = Dataset(values=values)
+    assert canonical(stellar(ds).groups) == canonical(skyey(ds).groups)
+
+
+def test_agreement_on_all_synthetic_distributions():
+    from repro.data import make_dataset
+
+    for dist in ("correlated", "independent", "anticorrelated"):
+        ds = make_dataset(dist, 400, 4, seed=99, digits=2)
+        assert canonical(stellar(ds).groups) == canonical(skyey(ds).groups)
+
+
+def test_agreement_on_nba_slice():
+    from repro.data import generate_nba_like
+
+    ds = generate_nba_like(n_players=600, seed=5).prefix_dims(6)
+    assert canonical(stellar(ds).groups) == canonical(skyey(ds).groups)

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with small arguments and its key
+output lines are asserted.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, stdin: str = "") -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "P2, P4, P5" in out
+    assert "(P2P5, (2,*,*,3), A)" in out
+    assert "Theorem 2 check -- seed lattice is a quotient: True" in out
+    assert "Skyey produces the identical cube: True" in out
+
+
+def test_flight_tickets():
+    out = run_example("flight_tickets.py")
+    assert "BUDGET-LHR, DIRECT, TK-YVR" in out
+    assert "cube answers match direct skyline computation: True" in out
+
+
+def test_nba_analysis():
+    out = run_example("nba_analysis.py", "800", "6")
+    assert "players in the full-space skyline" in out
+    assert "identical cube: True" in out
+
+
+def test_incremental_updates():
+    out = run_example("incremental_updates.py")
+    assert "maintained cube == from-scratch cube: True" in out
+
+
+def test_lattice_explorer_default():
+    out = run_example("lattice_explorer.py")
+    assert "running example" in out
+    assert "quotient check: True" in out
+    assert "digraph skyline_group_lattice" in out
+
+
+def test_lattice_explorer_generated():
+    out = run_example("lattice_explorer.py", "equal", "30", "3")
+    assert "quotient check: True" in out
+
+
+def test_subspace_query_service():
+    script = "skyline price\nwins TK-YVR\ntop 3\ngroups DIRECT\nnope\nquit\n"
+    out = run_example("subspace_query_service.py", stdin=script)
+    assert "BUDGET-LHR, MULTIHOP" in out
+    assert "wins in" in out
+    assert "unknown command" in out
+    assert "[online] bye" in out

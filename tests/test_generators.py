@@ -1,0 +1,117 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_independent,
+    make_dataset,
+    truncate_decimals,
+)
+from repro.skyline import compute_skyline
+
+
+class TestShapesAndRanges:
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_correlated, generate_independent, generate_anticorrelated],
+    )
+    def test_shape_and_range(self, generator):
+        values = generator(500, 5, seed=3)
+        assert values.shape == (500, 5)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_correlated, generate_independent, generate_anticorrelated],
+    )
+    def test_zero_objects(self, generator):
+        assert generator(0, 3, seed=1).shape == (0, 3)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_correlated, generate_independent, generate_anticorrelated],
+    )
+    def test_single_dimension(self, generator):
+        assert generator(10, 1, seed=1).shape == (10, 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_independent(-1, 2)
+        with pytest.raises(ValueError):
+            generate_independent(5, 0)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_correlated, generate_independent, generate_anticorrelated],
+    )
+    def test_deterministic_by_seed(self, generator):
+        a = generator(50, 3, seed=7)
+        b = generator(50, 3, seed=7)
+        c = generator(50, 3, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestDistributionCharacter:
+    def test_correlation_signs(self):
+        corr = generate_correlated(5000, 2, seed=0)
+        anti = generate_anticorrelated(5000, 2, seed=0)
+        indep = generate_independent(5000, 2, seed=0)
+        r_corr = np.corrcoef(corr[:, 0], corr[:, 1])[0, 1]
+        r_anti = np.corrcoef(anti[:, 0], anti[:, 1])[0, 1]
+        r_indep = np.corrcoef(indep[:, 0], indep[:, 1])[0, 1]
+        assert r_corr > 0.5
+        assert r_anti < -0.5
+        assert abs(r_indep) < 0.1
+
+    def test_skyline_size_ordering(self):
+        """The defining property: |sky(corr)| << |sky(indep)| << |sky(anti)|."""
+        n, d = 3000, 4
+        sizes = {}
+        for name in ("correlated", "independent", "anticorrelated"):
+            ds = make_dataset(name, n, d, seed=5)
+            sizes[name] = len(compute_skyline(ds))
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]
+        assert sizes["anticorrelated"] > 20 * sizes["correlated"]
+
+
+class TestTruncation:
+    def test_truncates_not_rounds(self):
+        values = np.array([[0.123456, 0.999999]])
+        got = truncate_decimals(values, digits=4)
+        assert got[0, 0] == pytest.approx(0.1234)
+        assert got[0, 1] == pytest.approx(0.9999)
+
+    def test_creates_coincidence(self):
+        values = generate_independent(2000, 2, seed=1)
+        truncated = truncate_decimals(values, digits=2)
+        assert len(np.unique(truncated[:, 0])) < 2000
+        assert len(np.unique(values[:, 0])) == 2000
+
+    def test_negative_digits_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_decimals(np.zeros((1, 1)), digits=-1)
+
+
+class TestMakeDataset:
+    def test_aliases(self):
+        for alias in ("equal", "uniform", "anti", "corr", "anti-correlated"):
+            ds = make_dataset(alias, 10, 2, seed=0)
+            assert ds.n_objects == 10
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_dataset("zipfian", 10, 2)
+
+    def test_digits_none_disables_truncation(self):
+        ds = make_dataset("independent", 100, 1, seed=0, digits=None)
+        assert len(np.unique(ds.values)) == 100
+
+    def test_default_truncation_applied(self):
+        ds = make_dataset("independent", 100, 1, seed=0)
+        scaled = ds.values * 10_000
+        assert np.allclose(scaled, np.round(scaled))

@@ -1,0 +1,95 @@
+"""Edge regimes: zero-dimension datasets and > 62 dimensions.
+
+Beyond 62 dimensions the packed masks switch from ``int64`` vectors to
+Python big-ints in object arrays; nothing exponential (oracle, Skyey) can
+referee there, so the checks are definitional: every produced group must
+satisfy Definition 1 and carry exactly its Definition 2 decisive set, both
+verifiable in polynomial time via the Theorem 4 characterisation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+from repro.core.validate import (
+    decisive_subspaces_theorem4,
+    is_maximal_cgroup,
+)
+from repro.skyline import compute_skyline, is_skyline_member
+
+
+class TestZeroDimensions:
+    def test_dataset_constructs(self):
+        ds = Dataset(values=np.empty((3, 0)))
+        assert ds.n_objects == 3
+        assert ds.n_dims == 0
+        assert ds.full_space == 0
+
+    def test_stellar_yields_no_groups(self):
+        """With no dimensions there are no non-empty subspaces, hence no
+        skyline groups (Section 2 only defines non-trivial subspaces)."""
+        ds = Dataset(values=np.empty((3, 0)))
+        result = stellar(ds)
+        assert result.groups == []
+        assert result.seed_groups == []
+
+
+class TestBeyond62Dimensions:
+    @pytest.fixture(scope="class")
+    def wide(self):
+        rng = np.random.default_rng(7)
+        return Dataset(values=rng.integers(0, 3, size=(7, 70)).astype(float))
+
+    @pytest.fixture(scope="class")
+    def wide_result(self, wide):
+        return stellar(wide)
+
+    def test_stellar_runs(self, wide, wide_result):
+        result = wide_result
+        assert result.groups
+        assert result.seeds == compute_skyline(wide, algorithm="brute")
+
+    def test_groups_are_definitionally_valid(self, wide, wide_result):
+        result = wide_result
+        for g in result.groups:
+            members = sorted(g.members)
+            assert is_maximal_cgroup(wide, members, g.subspace)
+            assert is_skyline_member(wide.minimized, members[0], g.subspace)
+            assert list(g.decisive) == decisive_subspaces_theorem4(
+                wide, members, g.subspace
+            )
+
+    def test_every_seed_owns_a_full_space_singleton_or_bound_group(
+        self, wide, wide_result
+    ):
+        result = wide_result
+        full = wide.full_space
+        covered = set()
+        for g in result.groups:
+            if g.subspace == full:
+                covered.update(g.members)
+        assert set(result.seeds) <= covered
+
+    def test_masks_are_python_ints(self, wide, wide_result):
+        result = wide_result
+        for g in result.groups:
+            assert type(g.subspace) is int
+            assert all(type(c) is int for c in g.decisive)
+            assert g.subspace.bit_length() <= 70
+
+    def test_ties_across_the_wide_space(self):
+        """Two objects sharing 65 of 70 dimensions: the shared-subspace
+        group must appear with a > 62-bit maximal subspace mask."""
+        rng = np.random.default_rng(9)
+        base = rng.integers(0, 5, size=70).astype(float)
+        a = base.copy()
+        b = base.copy()
+        b[:5] = base[:5] + 1  # b worse on dims 0-4, ties elsewhere
+        spoiler = base + 2  # dominated by both, ties nobody... shares none
+        ds = Dataset(values=np.vstack([a, b, spoiler]))
+        result = stellar(ds)
+        shared_mask = ((1 << 70) - 1) & ~((1 << 5) - 1)
+        by_members = {tuple(sorted(g.members)): g for g in result.groups}
+        assert (0, 1) in by_members
+        assert by_members[(0, 1)].subspace == shared_mask

@@ -1,0 +1,81 @@
+"""Tests for the household-like dataset and the paper's consistency claim."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import skyey
+from repro.core.stellar import stellar
+from repro.core.types import Direction
+from repro.cube import CompressedSkylineCube
+from repro.data import HOUSEHOLD_DIMENSIONS, generate_household_like
+from repro.skyline import compute_skyline
+
+
+@pytest.fixture(scope="module")
+def household():
+    return generate_household_like(3000, seed=1)
+
+
+class TestSchema:
+    def test_dimensions(self, household):
+        assert household.names == HOUSEHOLD_DIMENSIONS
+        assert household.n_dims == 6
+        assert all(d is Direction.MIN for d in household.directions)
+
+    def test_values_are_whole_percent_points(self, household):
+        assert np.allclose(household.values, np.round(household.values))
+        assert np.all(household.values >= 0)
+        assert np.all(household.values <= 95)
+
+    def test_heavy_ties(self, household):
+        for column in household.values.T:
+            assert len(np.unique(column)) < 100
+
+    def test_mild_positive_correlation(self, household):
+        r = np.corrcoef(household.values[:, 0], household.values[:, 1])[0, 1]
+        assert 0.1 < r < 0.8
+
+    def test_deterministic(self):
+        a = generate_household_like(100, seed=3)
+        b = generate_household_like(100, seed=3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_household_like(-1)
+
+
+class TestConsistencyWithNBAResults:
+    """Section 6.1: 'We also test the algorithms on some other real data
+    sets.  The results are consistent.'  -- checked on the second table."""
+
+    def test_moderate_groups_small_skyline(self, household):
+        result = stellar(household)
+        assert result.stats.n_seeds < household.n_objects * 0.05
+        cube = CompressedSkylineCube(household, result.groups)
+        objs = cube.summary().n_subspace_skyline_objects
+        # groups compress the SkyCube by an order of magnitude or more
+        assert len(result.groups) * 10 < objs
+
+    def test_value_sharing_creates_extended_groups(self, household):
+        """Unlike the NBA table, ties on decisive values DO occur here, so
+        #groups exceeds #seeds -- the general case of the model."""
+        result = stellar(household)
+        assert len(result.groups) > result.stats.n_seeds
+
+    def test_stellar_beats_skyey(self, household):
+        import time
+
+        data = household.prefix_dims(5)
+        t0 = time.perf_counter()
+        r = stellar(data)
+        stellar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        s = skyey(data)
+        skyey_s = time.perf_counter() - t0
+        assert [g.key for g in r.groups] == [g.key for g in s.groups]
+        assert skyey_s > 2 * stellar_s
+
+    def test_full_space_skyline_matches_direct(self, household):
+        result = stellar(household)
+        assert result.seeds == compute_skyline(household)

@@ -1,0 +1,89 @@
+"""Tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Dataset, Direction
+from repro.data import load_csv, save_csv
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, tmp_path, flight_routes):
+        path = tmp_path / "routes.csv"
+        save_csv(flight_routes, path)
+        loaded = load_csv(path)
+        assert loaded.names == flight_routes.names
+        assert loaded.directions == flight_routes.directions
+        assert loaded.labels == flight_routes.labels
+        assert np.array_equal(loaded.values, flight_routes.values)
+
+    def test_max_directions_preserved(self, tmp_path):
+        ds = Dataset.from_rows(
+            [[1, 2], [3, 4]], directions=("min", "max")
+        )
+        path = tmp_path / "d.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.directions == (Direction.MIN, Direction.MAX)
+        assert np.array_equal(loaded.minimized, ds.minimized)
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        ds = Dataset.from_rows([], names=("A", "B"))
+        path = tmp_path / "empty.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.n_objects == 0
+        assert loaded.names == ("A", "B")
+
+    def test_float_precision_survives(self, tmp_path):
+        ds = Dataset.from_rows([[0.1234, 1e-9], [2.5, 3.75]])
+        path = tmp_path / "f.csv"
+        save_csv(ds, path)
+        assert np.array_equal(load_csv(path).values, ds.values)
+
+
+class TestHandAuthored:
+    def test_direction_defaults_to_min(self, tmp_path):
+        path = tmp_path / "hand.csv"
+        path.write_text("label,price,rating:max\nx,10,4\ny,20,5\n")
+        ds = load_csv(path)
+        assert ds.directions == (Direction.MIN, Direction.MAX)
+        assert ds.names == ("price", "rating")
+        assert ds.labels == ("x", "y")
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("label,a:min\nx,1\n\ny,2\n")
+        assert load_csv(path).n_objects == 2
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "nothing.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            load_csv(path)
+
+    def test_missing_label_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,a:min\nx,1\n")
+        with pytest.raises(ValueError, match="first header cell"):
+            load_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("label,a:min,b:min\nx,1\n")
+        with pytest.raises(ValueError, match="expected 3 cells"):
+            load_csv(path)
+
+    def test_non_numeric_cell(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("label,a:min\nx,abc\n")
+        with pytest.raises(ValueError, match="nan.csv:2"):
+            load_csv(path)
+
+    def test_bad_direction(self, tmp_path):
+        path = tmp_path / "dir.csv"
+        path.write_text("label,a:upwards\nx,1\n")
+        with pytest.raises(ValueError, match="'min' or 'max'"):
+            load_csv(path)

@@ -1,0 +1,95 @@
+"""Tests for the k-dominant skyline extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.types import Dataset
+from repro.skyline import skyline_brute
+from repro.skyline.kdominant import k_dominant_skyline, k_dominates
+
+from .conftest import tiny_int_datasets
+
+
+class TestKDominates:
+    def test_classic_dominance_is_d_dominance(self):
+        u = np.array([1.0, 2.0, 3.0])
+        v = np.array([2.0, 2.0, 4.0])
+        assert k_dominates(u, v, 3)
+        assert not k_dominates(v, u, 3)
+
+    def test_partial_dominance(self):
+        u = np.array([1.0, 9.0])
+        v = np.array([2.0, 1.0])
+        # u beats v on dim 0 only: 1-dominates but not 2-dominates
+        assert k_dominates(u, v, 1)
+        assert not k_dominates(u, v, 2)
+        # and symmetrically v 1-dominates u: cyclic dominance
+        assert k_dominates(v, u, 1)
+
+    def test_equal_rows_never_dominate(self):
+        u = np.array([1.0, 1.0])
+        assert not k_dominates(u, u.copy(), 1)
+
+
+class TestKDominantSkyline:
+    def test_k_equals_d_is_classic_skyline(self, running_example):
+        m = running_example.minimized
+        assert k_dominant_skyline(m, 4) == skyline_brute(m)
+
+    def test_shrinks_as_k_decreases(self, running_example):
+        m = running_example.minimized
+        previous = None
+        for k in range(4, 0, -1):
+            current = set(k_dominant_skyline(m, k))
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+    def test_can_be_empty_on_cycles(self):
+        # three objects in a 1-dominance cycle
+        m = np.array([[1.0, 2.0, 3.0], [3.0, 1.0, 2.0], [2.0, 3.0, 1.0]])
+        assert k_dominant_skyline(m, 1) == []
+        assert k_dominant_skyline(m, 3) == [0, 1, 2]
+
+    def test_subspace_parameter(self, running_example):
+        m = running_example.minimized
+        assert k_dominant_skyline(m, 2, subspace=0b1010) == skyline_brute(
+            m, 0b1010
+        )
+
+    def test_invalid_k(self, running_example):
+        m = running_example.minimized
+        with pytest.raises(ValueError):
+            k_dominant_skyline(m, 0)
+        with pytest.raises(ValueError):
+            k_dominant_skyline(m, 5)
+
+    def test_empty_input(self):
+        assert k_dominant_skyline(np.empty((0, 2)), 1) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(tiny_int_datasets(max_objects=10, max_dims=4, max_value=3))
+    def test_matches_pairwise_definition(self, ds: Dataset):
+        m = ds.minimized
+        d = ds.n_dims
+        for k in range(1, d + 1):
+            got = k_dominant_skyline(m, k)
+            expected = [
+                i
+                for i in range(ds.n_objects)
+                if not any(
+                    j != i and k_dominates(m[j], m[i], k)
+                    for j in range(ds.n_objects)
+                )
+            ]
+            assert got == expected
+        assert k_dominant_skyline(m, d) == skyline_brute(m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tiny_int_datasets(max_objects=10, max_dims=4, max_value=3))
+    def test_subset_of_classic_skyline(self, ds: Dataset):
+        m = ds.minimized
+        classic = set(skyline_brute(m))
+        for k in range(1, ds.n_dims + 1):
+            assert set(k_dominant_skyline(m, k)) <= classic

@@ -1,0 +1,98 @@
+"""Tests for the skyline-group lattice and the Theorem 2 quotient check."""
+
+from hypothesis import given, settings
+
+from repro.core.lattice import (
+    SkylineGroupLattice,
+    quotient_map,
+    seed_groups_as_skyline_groups,
+    verify_quotient_for,
+)
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+
+from .conftest import tiny_int_datasets
+
+
+class TestHasseDiagram:
+    def test_running_example_structure(self, running_example):
+        result = stellar(running_example)
+        lattice = SkylineGroupLattice.build(result.groups)
+        by_key = {g.key: i for i, g in enumerate(lattice.groups)}
+        # singletons are roots
+        roots = set(lattice.roots())
+        assert by_key[((1,), 0b1111)] in roots  # P2
+        assert by_key[((3,), 0b1111)] in roots  # P4
+        assert by_key[((4,), 0b1111)] in roots  # P5
+        # (P3P5, BCD) covers (P5, ABCD): P5 is the only strict subset
+        child = by_key[((2, 4), 0b1110)]
+        assert lattice.parents[child] == [by_key[((4,), 0b1111)]]
+        # (P2P3P5, D) is covered by (P2P5, AD) and (P3P5, BCD)
+        node = by_key[((1, 2, 4), 0b1000)]
+        assert set(lattice.parents[node]) == {
+            by_key[((1, 4), 0b1001)],
+            by_key[((2, 4), 0b1110)],
+        }
+
+    def test_edges_respect_order(self, running_example):
+        result = stellar(running_example)
+        lattice = SkylineGroupLattice.build(result.groups)
+        for i, kids in enumerate(lattice.children):
+            for j in kids:
+                assert lattice.groups[i].members < lattice.groups[j].members
+                assert lattice.groups[j].subspace & ~lattice.groups[i].subspace == 0
+
+    def test_meet_and_join(self, running_example):
+        result = stellar(running_example)
+        lattice = SkylineGroupLattice.build(result.groups)
+        by_key = {g.key: i for i, g in enumerate(lattice.groups)}
+        p2 = by_key[((1,), 0b1111)]
+        p5 = by_key[((4,), 0b1111)]
+        # meet of P2 and P5 is the smallest group containing both: P2P5
+        assert lattice.meet(p2, p5) == by_key[((1, 4), 0b1001)]
+        # join of P2P5 and P3P5 is a group containing their intersection {P5}
+        a = by_key[((1, 4), 0b1001)]
+        b = by_key[((2, 4), 0b1110)]
+        assert lattice.join(a, b) == p5
+        # meet of two maximal disjoint-ish groups may fall to virtual zero
+        p2p4 = by_key[((1, 3), 0b0100)]
+        p3p5 = by_key[((2, 4), 0b1110)]
+        assert lattice.meet(p2p4, p3p5) is None
+
+    def test_to_dot(self, running_example):
+        result = stellar(running_example)
+        lattice = SkylineGroupLattice.build(result.groups)
+        dot = lattice.to_dot(running_example)
+        assert dot.startswith("digraph")
+        assert "P2P5" in dot
+        assert dot.count("->") == sum(len(c) for c in lattice.children)
+
+
+class TestQuotient:
+    def test_running_example_report(self, running_example):
+        result = stellar(running_example)
+        report = verify_quotient_for(running_example, result)
+        assert report.is_quotient
+        assert report.n_full_groups == 8
+        assert report.n_seed_groups == 6
+        # two seed groups were split/extended: fibers (2, 2, 1, 1, 1, 1)
+        assert report.fiber_sizes == (2, 2, 1, 1, 1, 1)
+
+    def test_quotient_map_positions(self, running_example):
+        result = stellar(running_example)
+        seed_groups = seed_groups_as_skyline_groups(running_example, result)
+        mapping = quotient_map(result.groups, seed_groups, result.seeds)
+        assert set(mapping) == set(range(len(result.groups)))
+        assert all(v is not None for v in mapping.values())
+        # (P3P4P5, B) maps to the seed group (P4P5, B)
+        idx_full = next(
+            i for i, g in enumerate(result.groups)
+            if g.key == ((2, 3, 4), 0b0010)
+        )
+        assert seed_groups[mapping[idx_full]].members == frozenset({3, 4})
+
+    @settings(max_examples=40, deadline=None)
+    @given(tiny_int_datasets(max_objects=9, max_dims=4, max_value=3))
+    def test_quotient_on_random_data(self, ds: Dataset):
+        report = verify_quotient_for(ds, stellar(ds))
+        assert report.is_quotient

@@ -1,0 +1,108 @@
+"""Tests for incremental cube maintenance (fast paths + soundness)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+from repro.cube import MaintainedCube
+
+
+def cube_state(cube):
+    return sorted((g.key, g.decisive) for g in cube.groups)
+
+
+class TestFastInsert:
+    def test_irrelevant_insert_is_fast_and_correct(self):
+        ds = Dataset.from_rows([[0, 0], [5, 5]])
+        mc = MaintainedCube(ds)
+        # (7, 9): dominated by (0,0) and (5,5); ties nobody.
+        assert mc.insert([7, 9]) is True
+        assert mc.stats.fast_inserts == 1
+        assert cube_state(mc.cube) == cube_state(
+            type(mc.cube)(mc.dataset, stellar(mc.dataset).groups)
+        )
+
+    def test_new_seed_forces_recompute(self):
+        ds = Dataset.from_rows([[5, 5], [6, 6]])
+        mc = MaintainedCube(ds)
+        assert mc.insert([0, 0]) is False
+        assert mc.stats.full_inserts == 1
+        assert mc.seeds == [2]
+
+    def test_tie_with_seed_forces_recompute(self):
+        ds = Dataset.from_rows([[0, 0], [9, 9]])
+        mc = MaintainedCube(ds)
+        # (0, 5) is dominated by (0,0) but ties the seed on A.
+        assert mc.insert([0, 5]) is False
+
+    def test_duplicate_label_rejected(self):
+        mc = MaintainedCube(Dataset.from_rows([[1, 2]]))
+        with pytest.raises(ValueError, match="duplicate object label"):
+            mc.insert([3, 4], label="P1")
+
+    def test_fresh_labels_generated(self):
+        mc = MaintainedCube(Dataset.from_rows([[1, 2]]))
+        mc.insert([3, 4])
+        assert mc.dataset.labels == ("P1", "P2")
+
+
+class TestDelete:
+    def test_delete_ungrouped_is_fast(self, running_example):
+        mc = MaintainedCube(running_example)
+        assert mc.delete("P1") is True
+        assert mc.stats.fast_deletes == 1
+        assert cube_state(mc.cube) == cube_state(
+            type(mc.cube)(mc.dataset, stellar(mc.dataset).groups)
+        )
+        # indices were remapped consistently
+        assert mc.dataset.labels == ("P2", "P3", "P4", "P5")
+        assert sorted(mc.seeds) == sorted(stellar(mc.dataset).seeds)
+
+    def test_delete_grouped_recomputes(self, running_example):
+        mc = MaintainedCube(running_example)
+        assert mc.delete("P5") is False
+        assert mc.stats.full_deletes == 1
+        assert cube_state(mc.cube) == cube_state(
+            type(mc.cube)(mc.dataset, stellar(mc.dataset).groups)
+        )
+
+    def test_delete_unknown_label(self, running_example):
+        mc = MaintainedCube(running_example)
+        with pytest.raises(ValueError, match="unknown object label"):
+            mc.delete("P99")
+
+    def test_stats_history(self, running_example):
+        mc = MaintainedCube(running_example)
+        mc.delete("P1")
+        mc.insert([9, 9, 99, 99])
+        assert mc.stats.total == 2
+        assert len(mc.stats.history) == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=3, max_size=3),
+        min_size=2,
+        max_size=6,
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_update_stream_always_matches_recompute(rows, seed):
+    """Soundness under arbitrary update streams."""
+    rng = random.Random(seed)
+    mc = MaintainedCube(Dataset.from_rows(rows))
+    for _ in range(6):
+        if rng.random() < 0.6 or mc.dataset.n_objects <= 1:
+            mc.insert([rng.randint(0, 4) for _ in range(3)])
+        else:
+            mc.delete(rng.choice(mc.dataset.labels))
+        fresh = stellar(mc.dataset)
+        assert cube_state(mc.cube) == sorted(
+            (g.key, g.decisive) for g in fresh.groups
+        )
+        assert sorted(mc.seeds) == sorted(fresh.seeds)

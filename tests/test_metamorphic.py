@@ -1,0 +1,144 @@
+"""Metamorphic properties of the compressed skyline cube.
+
+Each test applies a semantics-preserving transformation to a random
+dataset and asserts the exact relationship between the cubes before and
+after.  These catch bugs that pointwise oracles can miss (index handling,
+ordering assumptions, hidden dependence on value magnitudes).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+
+from .conftest import tiny_int_datasets
+
+
+def cube_structure(result):
+    return sorted((g.key, g.decisive, g.projection) for g in result.groups)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=9, max_dims=4, max_value=3), st.randoms())
+def test_object_permutation_equivariance(ds: Dataset, rnd):
+    """Shuffling the objects relabels the cube and changes nothing else."""
+    perm = list(range(ds.n_objects))
+    rnd.shuffle(perm)
+    shuffled = ds.take(perm)
+    base = stellar(ds)
+    moved = stellar(shuffled)
+    # position p in `shuffled` is object perm[p] in `ds`
+    remapped = sorted(
+        (
+            (tuple(sorted(perm[m] for m in g.members)), g.subspace),
+            g.decisive,
+            g.projection,
+        )
+        for g in moved.groups
+    )
+    assert remapped == cube_structure(base)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=9, max_dims=4, max_value=3), st.randoms())
+def test_dimension_permutation_equivariance(ds: Dataset, rnd):
+    """Permuting dimensions permutes every mask accordingly."""
+    dims = list(range(ds.n_dims))
+    rnd.shuffle(dims)  # new column j holds old column dims[j]
+    permuted = Dataset(values=ds.values[:, dims])
+
+    def move_mask(mask: int) -> int:
+        # old dimension dims[j] appears at new position j
+        out = 0
+        for j, old in enumerate(dims):
+            if mask & (1 << old):
+                out |= 1 << j
+        return out
+
+    base = stellar(ds)
+    moved = stellar(permuted)
+    expected = sorted(
+        (
+            (tuple(sorted(g.members)), move_mask(g.subspace)),
+            tuple(sorted(move_mask(c) for c in g.decisive)),
+        )
+        for g in base.groups
+    )
+    got = sorted(
+        ((tuple(sorted(g.members)), g.subspace), g.decisive)
+        for g in moved.groups
+    )
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=9, max_dims=4, max_value=3))
+def test_positive_affine_invariance(ds: Dataset):
+    """Per-dimension positive scaling + shift never changes the cube."""
+    scales = np.array([2.0, 0.5, 10.0, 3.0][: ds.n_dims])
+    shifts = np.array([-7.0, 100.0, 0.25, -0.5][: ds.n_dims])
+    transformed = Dataset(values=ds.values * scales + shifts)
+    a = sorted((g.key, g.decisive) for g in stellar(ds).groups)
+    b = sorted((g.key, g.decisive) for g in stellar(transformed).groups)
+    assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tiny_int_datasets(max_objects=8, max_dims=4, max_value=3),
+    st.integers(min_value=0, max_value=7),
+)
+def test_duplicating_an_object_substitutes_it_everywhere(ds: Dataset, pick):
+    """Appending an exact duplicate of object ``o`` maps the cube through
+    the substitution ``o -> {o, dup}``: same subspaces, same decisive
+    sets, same projections, members extended exactly where ``o`` was."""
+    o = pick % ds.n_objects
+    dup = ds.n_objects
+    extended = Dataset(values=np.vstack([ds.values, ds.values[o]]))
+    base = stellar(ds)
+    bigger = stellar(extended)
+
+    def substitute(members: frozenset[int]) -> tuple[int, ...]:
+        out = set(members)
+        if o in out:
+            out.add(dup)
+        return tuple(sorted(out))
+
+    expected = sorted(
+        ((substitute(g.members), g.subspace), g.decisive, g.projection)
+        for g in base.groups
+    )
+    got = sorted(
+        ((tuple(sorted(g.members)), g.subspace), g.decisive, g.projection)
+        for g in bigger.groups
+    )
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=8, max_dims=4, max_value=3))
+def test_adding_a_strictly_worse_object_changes_nothing(ds: Dataset):
+    """An object strictly worse than every existing value on every
+    dimension is dominated and ties nobody: by the irrelevant-insert
+    theorem (docs/THEORY.md §4) the cube is unchanged."""
+    worst = ds.values.max(axis=0) + 1.0  # strictly worse than everything
+    extended = Dataset(values=np.vstack([ds.values, worst]))
+    a = sorted((g.key, g.decisive) for g in stellar(ds).groups)
+    b = sorted((g.key, g.decisive) for g in stellar(extended).groups)
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiny_int_datasets(max_objects=8, max_dims=4, max_value=3))
+def test_restricting_to_a_group_subspace_keeps_the_group_skyline(ds: Dataset):
+    """Projecting the dataset onto a group's maximal subspace keeps the
+    group's members in the (full-space) skyline of the projected data."""
+    from repro.skyline import compute_skyline
+
+    result = stellar(ds)
+    for g in result.groups[:4]:
+        sub = ds.restrict_dims(g.subspace)
+        skyline = set(compute_skyline(sub, algorithm="brute"))
+        assert set(g.members) <= skyline

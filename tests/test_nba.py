@@ -1,0 +1,81 @@
+"""Tests for the NBA-like dataset generator (the real-data substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Direction
+from repro.data import NBA_DIMENSIONS, generate_nba_like
+from repro.skyline import compute_skyline
+
+
+@pytest.fixture(scope="module")
+def nba_small():
+    return generate_nba_like(n_players=2000, seed=1)
+
+
+class TestSchema:
+    def test_dimensions(self, nba_small):
+        assert nba_small.names == NBA_DIMENSIONS
+        assert nba_small.n_dims == 17
+        assert all(d is Direction.MAX for d in nba_small.directions)
+
+    def test_default_size_matches_paper(self):
+        ds = generate_nba_like(n_players=10, seed=0)
+        assert ds.n_objects == 10
+        # the default n_players is the paper's table size
+        import inspect
+
+        signature = inspect.signature(generate_nba_like)
+        assert signature.parameters["n_players"].default == 17_265
+
+    def test_labels_unique(self, nba_small):
+        assert len(set(nba_small.labels)) == nba_small.n_objects
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_nba_like(n_players=-1)
+
+
+class TestStatistics:
+    def test_integer_counting_stats(self, nba_small):
+        assert np.allclose(nba_small.values, np.round(nba_small.values))
+        assert np.all(nba_small.values >= 0)
+
+    def test_rebounds_are_the_sum_of_splits(self, nba_small):
+        orb = nba_small.values[:, NBA_DIMENSIONS.index("ORB")]
+        drb = nba_small.values[:, NBA_DIMENSIONS.index("DRB")]
+        reb = nba_small.values[:, NBA_DIMENSIONS.index("REB")]
+        assert np.array_equal(reb, orb + drb)
+
+    def test_made_attempted_consistency_on_average(self, nba_small):
+        fgm = nba_small.values[:, NBA_DIMENSIONS.index("FGM")].sum()
+        fga = nba_small.values[:, NBA_DIMENSIONS.index("FGA")].sum()
+        assert fgm < fga
+
+    def test_strong_positive_correlation(self, nba_small):
+        minutes = nba_small.values[:, NBA_DIMENSIONS.index("MIN")]
+        points = nba_small.values[:, NBA_DIMENSIONS.index("PTS")]
+        assert np.corrcoef(minutes, points)[0, 1] > 0.8
+
+    def test_heavy_low_end_value_sharing(self, nba_small):
+        """Short careers create ties -- the coincidence the model feeds on."""
+        games = nba_small.values[:, NBA_DIMENSIONS.index("GP")]
+        assert len(np.unique(games)) < nba_small.n_objects * 0.5
+
+
+class TestSkylineRegime:
+    def test_small_full_space_skyline(self, nba_small):
+        """The paper's regime: correlated data, tiny full-space skyline."""
+        sky = compute_skyline(nba_small)
+        assert 1 <= len(sky) <= 150
+
+    def test_skyline_grows_with_dimensionality(self, nba_small):
+        sizes = [
+            len(compute_skyline(nba_small.prefix_dims(d))) for d in (2, 8, 17)
+        ]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_deterministic(self):
+        a = generate_nba_like(n_players=100, seed=9)
+        b = generate_nba_like(n_players=100, seed=9)
+        assert np.array_equal(a.values, b.values)

@@ -1,0 +1,158 @@
+"""Golden tests: every worked number in the paper's Examples 1-8.
+
+These tests pin the library's output to the figures and examples of the
+paper itself -- the running example's two lattices (Figure 3), the
+matrices (Figure 4), the decisive-subspace derivations (Examples 5-6) and
+the non-seed adjustments (Example 7).  Example 8's search trace lives in
+test_cgroups.py.
+"""
+
+from repro.baselines import skyey
+from repro.core.stellar import stellar
+from repro.cube import CompressedSkylineCube
+from repro.skyline import compute_skyline
+
+
+def signatures(dataset, groups):
+    return sorted(g.signature(dataset) for g in groups)
+
+
+class TestExample1:
+    """Figure 1: subspace skylines of the 2-d set {a, b, c, d, e}."""
+
+    def test_subspace_skylines(self, example1):
+        names = lambda idx: [example1.labels[i] for i in idx]
+        XY = example1.parse_subspace("XY")
+        X = example1.parse_subspace("X")
+        Y = example1.parse_subspace("Y")
+        assert names(compute_skyline(example1, XY)) == ["b", "d", "e"]
+        assert names(compute_skyline(example1, X)) == ["a", "b"]
+        assert names(compute_skyline(example1, Y)) == ["e"]
+
+    def test_d_in_full_skyline_only(self, example1):
+        """Object d is a skyline object in XY but in no proper subspace."""
+        result = stellar(example1)
+        cube = CompressedSkylineCube(example1, result.groups)
+        d = example1.labels.index("d")
+        assert cube.membership_subspaces(d) == [0b11]
+
+    def test_a_outside_full_skyline(self, example1):
+        """Object a is not in the full-space skyline but wins in X."""
+        result = stellar(example1)
+        a = example1.labels.index("a")
+        assert a not in result.seeds
+        cube = CompressedSkylineCube(example1, result.groups)
+        assert cube.membership_subspaces(a) == [0b01]
+
+    def test_skyline_groups_of_example1(self, example1):
+        """(e, XY) dec Y; (d, XY) dec XY; (b, XY) dec XY; (ab, X) dec X."""
+        result = stellar(example1)
+        assert signatures(example1, result.groups) == sorted(
+            [
+                "(b, (2,4), XY)",
+                "(d, (3.5,2.5), XY)",
+                "(e, (6,1), Y)",
+                "(ab, (2,*), X)",
+            ]
+        )
+
+
+class TestRunningExampleFigures:
+    """Figures 2-4 and Examples 2, 5, 7."""
+
+    def test_seeds(self, running_example):
+        result = stellar(running_example)
+        assert [running_example.labels[i] for i in result.seeds] == [
+            "P2", "P4", "P5",
+        ]
+
+    def test_figure3a_seed_lattice(self, running_example):
+        result = stellar(running_example)
+        fmt = running_example.format_subspace
+        rendered = sorted(
+            f"({running_example.format_objects(sg.members)}, "
+            f"{'|'.join(fmt(c) for c in sg.decisive)})"
+            for sg in result.seed_groups
+        )
+        assert rendered == sorted(
+            [
+                "(P2, AC|CD)",
+                "(P4, BC)",
+                "(P5, AB|BD)",
+                "(P2P4, C)",
+                "(P2P5, A|D)",
+                "(P4P5, B)",
+            ]
+        )
+
+    def test_figure3b_full_lattice(self, running_example):
+        result = stellar(running_example)
+        assert signatures(running_example, result.groups) == sorted(
+            [
+                "(P2, (2,6,8,3), AC, CD)",
+                "(P4, (6,4,8,5), BC)",
+                "(P5, (2,4,9,3), AB)",
+                "(P2P4, (*,*,8,*), C)",
+                "(P2P5, (2,*,*,3), A)",
+                "(P3P5, (*,4,9,3), BD)",
+                "(P2P3P5, (*,*,*,3), D)",
+                "(P3P4P5, (*,4,*,*), B)",
+            ]
+        )
+
+    def test_example2_p3_subspace_memberships(self, running_example):
+        """P3 is in the skylines of B, D, BD (and, by Definition 1 applied
+        to the tie with P5 on BCD, also BCD -- the group (P3P5, BCD))."""
+        result = stellar(running_example)
+        cube = CompressedSkylineCube(running_example, result.groups)
+        p3 = 2
+        got = {running_example.format_subspace(m)
+               for m in cube.membership_subspaces(p3)}
+        assert got == {"B", "D", "BD", "BCD"}
+
+    def test_example2_p1_nowhere(self, running_example):
+        """P1 is not in any subspace skyline."""
+        result = stellar(running_example)
+        cube = CompressedSkylineCube(running_example, result.groups)
+        assert cube.membership_subspaces(0) == []
+        for subspace in range(1, 16):
+            assert not compute_skyline(running_example, subspace).count(0)
+
+    def test_example5_p2_decisive(self, running_example):
+        """(A∨D)∧C -> minimum DNF (A∧C)∨(C∧D): decisive AC and CD."""
+        result = stellar(running_example)
+        p2 = next(g for g in result.groups if g.members == frozenset({1}))
+        fmt = running_example.format_subspace
+        assert [fmt(c) for c in p2.decisive] == ["AC", "CD"]
+
+    def test_example5_p4_decisive(self, running_example):
+        result = stellar(running_example)
+        p4 = next(g for g in result.groups if g.members == frozenset({3}))
+        assert [running_example.format_subspace(c) for c in p4.decisive] == ["BC"]
+
+    def test_example6_p5_seed_decisive(self, running_example):
+        """Scanning P5's dominance row gives candidate subspaces AB and BD."""
+        result = stellar(running_example)
+        p5_seed = next(
+            sg for sg in result.seed_groups if sg.members == (4,)
+        )
+        fmt = running_example.format_subspace
+        assert [fmt(c) for c in p5_seed.decisive] == ["AB", "BD"]
+
+    def test_example7_adjustments(self, running_example):
+        result = stellar(running_example)
+        by_key = {g.key: g for g in result.groups}
+        fmt = running_example.format_subspace
+        # split: P5 keeps AB; new group (P3P5, BCD) takes BD
+        assert [fmt(c) for c in by_key[((4,), 0b1111)].decisive] == ["AB"]
+        assert [fmt(c) for c in by_key[((2, 4), 0b1110)].decisive] == ["BD"]
+        # extension in place: P4P5 + P3 at B, decisive stays B
+        assert [fmt(c) for c in by_key[((2, 3, 4), 0b0010)].decisive] == ["B"]
+
+
+class TestSkyeyMatchesOnPaperData:
+    def test_identical_cubes(self, running_example, example1):
+        for ds in (running_example, example1):
+            a = [(g.key, g.decisive) for g in stellar(ds).groups]
+            b = [(g.key, g.decisive) for g in skyey(ds).groups]
+            assert a == b

@@ -1,0 +1,63 @@
+"""Tests for the label-based QueryEngine front end."""
+
+import pytest
+
+from repro.cube import QueryEngine
+
+
+@pytest.fixture
+def engine(flight_routes):
+    return QueryEngine.build(flight_routes)
+
+
+class TestQ1:
+    def test_skyline_by_names(self, engine):
+        assert engine.skyline("price,traveltime") == [
+            "BUDGET-LHR", "DIRECT", "TK-YVR",
+        ]
+
+    def test_single_dimension(self, engine):
+        assert engine.skyline("price") == ["BUDGET-LHR", "MULTIHOP"]
+
+    def test_unknown_dimension(self, engine):
+        with pytest.raises(ValueError, match="unknown dimension"):
+            engine.skyline("price,comfort")
+
+
+class TestQ2:
+    def test_where_wins(self, engine):
+        got = engine.where_wins("TK-YVR")
+        assert got == [
+            "price,traveltime",
+            "price,stops",
+            "price,traveltime,stops",
+        ]
+
+    def test_wins_in(self, engine):
+        assert engine.wins_in("DIRECT", "traveltime")
+        assert not engine.wins_in("SLOW-EXPENSIVE", "price,traveltime,stops")
+
+    def test_signature_of(self, engine):
+        sigs = engine.signature_of("DIRECT")
+        assert len(sigs) == 1
+        assert "DIRECT" in sigs[0]
+        assert "traveltime" in sigs[0]
+
+    def test_unknown_label(self, engine):
+        with pytest.raises(ValueError, match="unknown object label"):
+            engine.where_wins("CONCORDE")
+
+
+class TestQ3:
+    def test_drill_down_keys(self, engine):
+        got = engine.drill_down("price")
+        assert set(got) == {"price,traveltime", "price,stops"}
+
+    def test_roll_up(self, engine):
+        got = engine.roll_up("price,stops")
+        assert set(got) == {"price", "stops"}
+        assert got["price"] == ["BUDGET-LHR", "MULTIHOP"]
+
+    def test_build_with_skyey(self, flight_routes):
+        engine = QueryEngine.build(flight_routes, algorithm="skyey")
+        assert engine.skyline("price") == ["BUDGET-LHR", "MULTIHOP"]

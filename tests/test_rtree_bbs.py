@@ -1,0 +1,94 @@
+"""Tests for the R-tree substrate and the BBS skyline algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.types import Dataset
+from repro.index.rtree import RTree
+from repro.skyline import skyline_brute
+from repro.skyline.bbs import bbs_progressive, skyline_bbs
+
+from .conftest import tiny_int_datasets
+
+
+class TestRTree:
+    def test_empty(self):
+        tree = RTree(np.empty((0, 3)))
+        assert tree.root is None
+        tree.check_invariants()
+
+    def test_single_point(self):
+        tree = RTree(np.array([[1.0, 2.0]]), capacity=4)
+        tree.check_invariants()
+        assert tree.root.is_leaf
+        assert tree.root.point_ids == [0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RTree(np.zeros((1, 2)), capacity=1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RTree(np.zeros(3))
+
+    def test_all_points_covered_and_balanced(self):
+        rng = np.random.default_rng(0)
+        for n in (5, 33, 100, 257):
+            tree = RTree(rng.random((n, 3)), capacity=5)
+            tree.check_invariants()
+
+    def test_duplicates_handled(self):
+        tree = RTree(np.ones((50, 2)), capacity=4)
+        tree.check_invariants()
+
+    def test_one_dimension(self):
+        tree = RTree(np.arange(40, dtype=float).reshape(-1, 1), capacity=4)
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(tiny_int_datasets(max_objects=30, max_dims=4, max_value=4))
+    def test_invariants_on_random_data(self, ds: Dataset):
+        RTree(ds.minimized, capacity=3).check_invariants()
+
+
+class TestBBS:
+    def test_matches_brute_on_running_example(self, running_example):
+        m = running_example.minimized
+        for subspace in range(1, 16):
+            assert skyline_bbs(m, subspace) == skyline_brute(m, subspace)
+
+    def test_duplicate_skyline_points_kept(self):
+        """An MBR corner equal to a found skyline point hides duplicates
+        that must not be pruned."""
+        rows = [[0.0, 0.0]] * 10 + [[1.0, 1.0]] * 5
+        m = np.array(rows)
+        assert skyline_bbs(m, None) == list(range(10))
+
+    def test_progressive_order_is_monotone(self):
+        rng = np.random.default_rng(4)
+        m = rng.random((300, 3))
+        order = list(bbs_progressive(m))
+        sums = m[order].sum(axis=1)
+        assert np.all(np.diff(sums) >= 0)
+        assert sorted(order) == skyline_brute(m, None)
+
+    def test_progressive_first_result_before_full_traversal(self):
+        """Progressiveness: the first skyline point appears after touching
+        only a root-to-leaf path's worth of entries."""
+        rng = np.random.default_rng(5)
+        m = rng.random((5000, 3))
+        stream = bbs_progressive(m)
+        first = next(stream)
+        assert first in set(skyline_brute(m, None))
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiny_int_datasets(max_objects=25, max_dims=4, max_value=3))
+    def test_matches_brute_randomised(self, ds: Dataset):
+        m = ds.minimized
+        assert skyline_bbs(m, None) == skyline_brute(m, None)
+
+    def test_registered(self):
+        from repro.skyline import SKYLINE_ALGORITHMS
+
+        assert "bbs" in SKYLINE_ALGORITHMS

@@ -1,0 +1,128 @@
+"""Property tests for the paper's theorems (1 through 5).
+
+Theorem 5 has no dedicated test here because it *is* the extension
+algorithm; its correctness is covered exhaustively by the Stellar-vs-oracle
+equivalence in test_stellar_oracle.py.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.bitset import is_subset, iter_nonempty_subsets
+from repro.core.cgroups import enumerate_maximal_cgroups
+from repro.core.dominance import PairwiseMatrices
+from repro.core.lattice import verify_quotient_for
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+from repro.core.validate import (
+    decisive_subspaces_definitional,
+    decisive_subspaces_theorem4,
+    is_skyline_group,
+    projection_key,
+)
+from repro.skyline import compute_skyline
+from repro.skyline.base import is_skyline_member
+
+from .conftest import tiny_int_datasets
+
+
+@settings(max_examples=80, deadline=None)
+@given(tiny_int_datasets(max_objects=10, max_dims=4, max_value=3))
+def test_theorem1_every_group_contains_a_seed(ds: Dataset):
+    """Theorem 1: each skyline group has a full-space skyline member."""
+    result = stellar(ds)
+    seeds = set(result.seeds)
+    for group in result.groups:
+        assert group.members & seeds, group
+
+
+@settings(max_examples=60, deadline=None)
+@given(tiny_int_datasets(max_objects=10, max_dims=4, max_value=3))
+def test_theorem2_seed_lattice_is_quotient(ds: Dataset):
+    """Theorem 2: φ(G,B) = (G ∩ F(S), ·) is a surjective order-preserving
+    map onto the seed lattice with well-defined fibers."""
+    result = stellar(ds)
+    report = verify_quotient_for(ds, result)
+    assert report.is_quotient, report
+
+
+@settings(max_examples=60, deadline=None)
+@given(tiny_int_datasets(max_objects=8, max_dims=4, max_value=3))
+def test_theorem3_sharing_characterisation(ds: Dataset):
+    """Theorem 3: a multi-seed c-group is a skyline group iff every outside
+    seed is beaten somewhere inside the shared subspace."""
+    seeds = compute_skyline(ds)
+    seed_ds = ds.take(seeds)
+    matrices = PairwiseMatrices(ds, seeds)
+    for local_members, subspace in enumerate_maximal_cgroups(matrices):
+        if len(local_members) < 2:
+            continue
+        rep = local_members[0]
+        member_set = set(local_members)
+        condition = all(
+            matrices.dom(rep, w) & subspace
+            for w in range(len(seeds))
+            if w not in member_set
+        )
+        actually_group = is_skyline_group(
+            seed_ds, sorted(local_members), subspace
+        )
+        assert condition == actually_group
+
+
+@settings(max_examples=60, deadline=None)
+@given(tiny_int_datasets(max_objects=8, max_dims=4, max_value=3))
+def test_theorem4_decisive_equals_hitting_sets(ds: Dataset):
+    """Theorem 4 (generalised to S): Definition 2 == minimal hitting sets."""
+    result = stellar(ds)
+    for group in result.groups:
+        members = sorted(group.members)
+        definitional = decisive_subspaces_definitional(
+            ds, members, group.subspace
+        )
+        hitting = decisive_subspaces_theorem4(ds, members, group.subspace)
+        assert definitional == hitting
+        assert list(group.decisive) == definitional
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=8, max_dims=4, max_value=3))
+def test_decisive_propagation_property(ds: Dataset):
+    """[10]'s propagation lemma: members of (G,B) with decisive C are
+    skyline objects in every subspace A with C ⊆ A ⊆ B -- and the cube's
+    ``covers_subspace`` answers exactly match brute-force membership."""
+    result = stellar(ds)
+    minimized = ds.minimized
+    for group in result.groups:
+        rep = min(group.members)
+        for sub in iter_nonempty_subsets(group.subspace):
+            covered = group.covers_subspace(sub)
+            if covered:
+                assert is_skyline_member(minimized, rep, sub)
+                # exclusivity too: nobody outside shares the projection
+                ref = projection_key(minimized, rep, sub)
+                for o in range(ds.n_objects):
+                    if o not in group.members:
+                        assert projection_key(minimized, o, sub) != ref
+            else:
+                # not covered means: either not skyline in `sub` or the
+                # projection is shared with an outside object there
+                ref = projection_key(minimized, rep, sub)
+                shared = any(
+                    projection_key(minimized, o, sub) == ref
+                    for o in range(ds.n_objects)
+                    if o not in group.members
+                )
+                assert shared or not is_skyline_member(minimized, rep, sub)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_int_datasets(max_objects=8, max_dims=4, max_value=3))
+def test_decisive_subspaces_are_minimal_antichain(ds: Dataset):
+    result = stellar(ds)
+    for group in result.groups:
+        for a in group.decisive:
+            assert a, "decisive subspaces are non-empty"
+            assert is_subset(a, group.subspace)
+            for b in group.decisive:
+                if a != b:
+                    assert not is_subset(a, b)

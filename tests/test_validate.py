@@ -1,0 +1,86 @@
+"""Tests for the definitional validators themselves.
+
+The validators are the oracle everything else is tested against, so they
+get their own direct tests on hand-computed cases.
+"""
+
+from repro.core.types import Dataset
+from repro.core.validate import (
+    common_coincidence_mask,
+    decisive_subspaces_definitional,
+    decisive_subspaces_theorem4,
+    is_coincident_group,
+    is_maximal_cgroup,
+    is_skyline_group,
+    projection_key,
+)
+
+
+class TestProjectionKey:
+    def test_orders_dimensions(self, running_example):
+        m = running_example.minimized
+        assert projection_key(m, 1, 0b1111) == (2.0, 6.0, 8.0, 3.0)
+        assert projection_key(m, 1, 0b1001) == (2.0, 3.0)
+
+
+class TestCommonCoincidence:
+    def test_singleton_full_space(self, running_example):
+        m = running_example.minimized
+        assert common_coincidence_mask(m, [0]) == 0b1111
+
+    def test_pair(self, running_example):
+        m = running_example.minimized
+        # P2 and P5 share A and D
+        assert common_coincidence_mask(m, [1, 4]) == 0b1001
+        # P3 and P5 share B, C, D
+        assert common_coincidence_mask(m, [2, 4]) == 0b1110
+
+    def test_triple(self, running_example):
+        m = running_example.minimized
+        # P2, P3, P5 share only D
+        assert common_coincidence_mask(m, [1, 2, 4]) == 0b1000
+
+    def test_nothing_shared(self, running_example):
+        m = running_example.minimized
+        assert common_coincidence_mask(m, [0, 3]) == 0
+
+
+class TestCGroupPredicates:
+    def test_coincident_group(self, running_example):
+        assert is_coincident_group(running_example, [1, 4], 0b1001)
+        assert not is_coincident_group(running_example, [1, 4], 0b1111)
+        assert not is_coincident_group(running_example, [1], 0)
+
+    def test_maximal_cgroup(self, running_example):
+        assert is_maximal_cgroup(running_example, [1, 4], 0b1001)
+        # not maximal: subspace smaller than the shared set
+        assert not is_maximal_cgroup(running_example, [2, 4], 0b1010)
+        # not maximal: P5 also shares D=3 with P2, P3
+        assert not is_maximal_cgroup(running_example, [1, 2], 0b1000)
+
+    def test_skyline_group(self, running_example):
+        assert is_skyline_group(running_example, [1, 4], 0b1001)
+        assert is_skyline_group(running_example, [2, 4], 0b1110)
+        # P1 is a maximal c-group at ABCD but dominated there
+        assert is_maximal_cgroup(running_example, [0], 0b1111)
+        assert not is_skyline_group(running_example, [0], 0b1111)
+
+
+class TestDecisiveSubspaces:
+    def test_p2_both_methods(self, running_example):
+        for fn in (decisive_subspaces_definitional, decisive_subspaces_theorem4):
+            assert fn(running_example, [1], 0b1111) == [0b0101, 0b1100]
+
+    def test_p5_both_methods(self, running_example):
+        for fn in (decisive_subspaces_definitional, decisive_subspaces_theorem4):
+            assert fn(running_example, [4], 0b1111) == [0b0011]
+
+    def test_dominated_group_has_none(self, running_example):
+        # P1 as a (non-skyline) maximal c-group: no decisive subspace.
+        assert decisive_subspaces_theorem4(running_example, [0], 0b1111) == []
+        assert decisive_subspaces_definitional(running_example, [0], 0b1111) == []
+
+    def test_lonely_object(self):
+        ds = Dataset.from_rows([[1, 2]])
+        assert decisive_subspaces_theorem4(ds, [0], 0b11) == [0b01, 0b10]
+        assert decisive_subspaces_definitional(ds, [0], 0b11) == [0b01, 0b10]
