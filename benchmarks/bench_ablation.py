@@ -6,13 +6,18 @@ Not a paper figure -- these quantify the library's own knobs:
 * Skyey's shared sort keys vs per-subspace recomputation;
 * duplicate binding on duplicate-heavy data (the Section 5 preprocessing);
 * the standalone skyline algorithms across the three distributions (the
-  related-work substrate the paper cites in Section 3).
+  related-work substrate the paper cites in Section 3);
+* dominance-comparison counts per algorithm -- the hardware-independent
+  cost metric of the skyline literature, recorded in each benchmark's
+  ``extra_info`` (see ``--benchmark-json``) via
+  :data:`repro.core.dominance.COMPARISONS`.
 """
 
 import numpy as np
 import pytest
 
 from repro.baselines import skyey
+from repro.core.dominance import COMPARISONS
 from repro.core.stellar import stellar
 from repro.core.types import Dataset
 from repro.data import make_dataset
@@ -82,6 +87,58 @@ def test_skyline_algorithm_by_distribution(benchmark, algorithm, dist):
         fn, args=(data.minimized, None), rounds=2, iterations=1
     )
     assert skyline
+
+
+@pytest.mark.parametrize("dist", ("correlated", "independent", "anticorrelated"))
+@pytest.mark.parametrize("algorithm", ("brute", "numpy", "sfs", "bnl"))
+def test_skyline_comparison_counts(benchmark, algorithm, dist):
+    """Pairwise-test counts per skyline algorithm and distribution.
+
+    Wall-clock numbers depend on the interpreter and the machine; the
+    number of dominance comparisons does not, which is why the skyline
+    literature reports it.  Counts land in ``extra_info`` of the benchmark
+    record (``pytest benchmarks/ --benchmark-json=...``).
+    """
+    data = make_dataset(dist, 1_000, 4, seed=20070415)
+    fn = SKYLINE_ALGORITHMS[algorithm]
+
+    def measured():
+        COMPARISONS.reset()
+        skyline = fn(data.minimized, None)
+        return skyline, COMPARISONS.value
+
+    skyline, comparisons = benchmark.pedantic(measured, rounds=1, iterations=1)
+    benchmark.extra_info["dominance_comparisons"] = comparisons
+    benchmark.extra_info["skyline_size"] = len(skyline)
+    assert skyline
+    assert comparisons > 0
+
+
+def test_stellar_vs_skyey_comparison_counts(benchmark, nba):
+    """Stellar's whole-pipeline comparison count on one NBA configuration.
+
+    The seed phase plus the dominance-matrix rows are everything Stellar
+    pays in pairwise tests -- the count Skyey cannot match because it must
+    search every subspace (compare Figure 8 at the same dimensionality).
+    """
+    data = nba.prefix_dims(6)
+
+    def measured():
+        COMPARISONS.reset()
+        result = stellar(data)
+        stellar_comparisons = COMPARISONS.reset()
+        skyey(data)
+        skyey_comparisons = COMPARISONS.reset()
+        return result, stellar_comparisons, skyey_comparisons
+
+    result, stellar_comparisons, skyey_comparisons = benchmark.pedantic(
+        measured, rounds=1, iterations=1
+    )
+    benchmark.extra_info["stellar_comparisons"] = stellar_comparisons
+    benchmark.extra_info["skyey_comparisons"] = skyey_comparisons
+    assert result.groups
+    assert stellar_comparisons > 0
+    assert skyey_comparisons > 0
 
 
 @pytest.mark.parametrize(

@@ -34,23 +34,28 @@ which the integration tests assert.
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.bitset import iter_bits, minimal_masks
 from ..core.types import Dataset, SkylineGroup, group_sort_key
 from ..core.validate import common_coincidence_mask
+from ..obs.tracing import Span, SpanBackedTimings, Tracer, current_tracer
 from ..skyline.numpy_skyline import chunked_sorted_skyline
 
 __all__ = ["SkyeyStats", "SkyeyResult", "skyey", "subspace_skyline_sorted"]
 
 
 @dataclass
-class SkyeyStats:
-    """Counters and timings of one Skyey run."""
+class SkyeyStats(SpanBackedTimings):
+    """Counters and the recorded span tree of one Skyey run.
+
+    Per-phase ``timings`` are derived from ``root_span`` (see
+    :class:`~repro.obs.tracing.SpanBackedTimings`); keys and
+    ``total_seconds`` are unchanged from the hand-timed versions.
+    """
 
     n_objects: int = 0
     n_dims: int = 0
@@ -59,12 +64,8 @@ class SkyeyStats:
     #: the SkyCube of Yuan et al., plotted in Figures 9 and 10.
     n_subspace_skyline_objects: int = 0
     n_groups: int = 0
-    timings: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_seconds(self) -> float:
-        """Total wall-clock time across all phases."""
-        return sum(self.timings.values())
+    #: Root tracing span of the run; phases are its direct children.
+    root_span: Span | None = None
 
 
 @dataclass
@@ -123,10 +124,14 @@ def skyey(
     if n == 0 or n_dims == 0:
         return SkyeyResult(groups=[], skyline_sizes={}, stats=stats)
 
+    tracer = current_tracer()
+    if tracer is None:
+        # Record phase spans even without ambient tracing: SkyeyStats
+        # derives its timings from this tree.
+        tracer = Tracer()
+
     recorded: dict[frozenset[int], list[int]] = defaultdict(list)
     skyline_sizes: dict[int, int] = {}
-
-    t0 = time.perf_counter()
 
     def record(subspace: int, proj_rows, skyline: list[int]) -> None:
         skyline_sizes[subspace] = len(skyline)
@@ -187,28 +192,37 @@ def skyey(
             visit_pruned(child, child_candidates, d)
 
     full = (1 << n_dims) - 1
-    if candidate_pruning:
-        visit_pruned(full, np.arange(n), n_dims)
-    else:
-        visit(full, minimized.sum(axis=1), n_dims)
-    t1 = time.perf_counter()
-    stats.timings["subspace_search"] = t1 - t0
-
-    groups: list[SkylineGroup] = []
-    for members, subspaces in recorded.items():
-        ordered_members = sorted(members)
-        maximal = common_coincidence_mask(minimized, ordered_members)
-        groups.append(
-            SkylineGroup(
-                members=frozenset(members),
-                subspace=maximal,
-                decisive=tuple(minimal_masks(subspaces)),
-                projection=dataset.projection(ordered_members[0], maximal),
+    with tracer.span(
+        "skyey", n_objects=n, n_dims=n_dims, candidate_pruning=candidate_pruning
+    ) as root:
+        with tracer.span("subspace_search") as sp:
+            if candidate_pruning:
+                visit_pruned(full, np.arange(n), n_dims)
+            else:
+                visit(full, minimized.sum(axis=1), n_dims)
+            sp.count("subspaces", stats.n_subspaces_searched)
+            sp.count(
+                "subspace_skyline_objects", stats.n_subspace_skyline_objects
             )
-        )
-    groups.sort(key=group_sort_key)
-    t2 = time.perf_counter()
-    stats.timings["group_assembly"] = t2 - t1
-    stats.n_groups = len(groups)
+
+        with tracer.span("group_assembly") as sp:
+            groups: list[SkylineGroup] = []
+            for members, subspaces in recorded.items():
+                ordered_members = sorted(members)
+                maximal = common_coincidence_mask(minimized, ordered_members)
+                groups.append(
+                    SkylineGroup(
+                        members=frozenset(members),
+                        subspace=maximal,
+                        decisive=tuple(minimal_masks(subspaces)),
+                        projection=dataset.projection(
+                            ordered_members[0], maximal
+                        ),
+                    )
+                )
+            groups.sort(key=group_sort_key)
+            sp.count("groups", len(groups))
+        stats.n_groups = len(groups)
+        stats.root_span = root
 
     return SkyeyResult(groups=groups, skyline_sizes=skyline_sizes, stats=stats)

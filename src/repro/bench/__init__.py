@@ -28,7 +28,7 @@ from .figures import (
     figure12,
     run_figure,
 )
-from .harness import BenchPoint, SCALES, Scale, time_call
+from .harness import BenchPoint, SCALES, Scale, emit_trace, time_call
 from .reporting import FigureResult, render_table
 
 __all__ = [
@@ -45,4 +45,5 @@ __all__ = [
     "SCALES",
     "BenchPoint",
     "time_call",
+    "emit_trace",
 ]

@@ -24,6 +24,7 @@ from ..core.types import Dataset
 from ..cube.compressed import CompressedSkylineCube
 from ..data.generators import make_dataset
 from ..data.nba import generate_nba_like
+from ..obs.tracing import span
 from .harness import SCALES, BudgetedRunner, Scale
 from .reporting import FigureResult
 
@@ -229,4 +230,5 @@ def run_figure(name: str, scale: str | Scale = "default") -> FigureResult:
     except KeyError:
         known = ", ".join(sorted(FIGURES))
         raise ValueError(f"unknown figure {name!r}; known: {known}") from None
-    return fn(scale)
+    with span(f"bench.{name}", scale=scale if isinstance(scale, str) else scale.name):
+        return fn(scale)

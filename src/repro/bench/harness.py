@@ -5,8 +5,19 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 
-__all__ = ["Scale", "SCALES", "BenchPoint", "time_call", "BudgetedRunner"]
+from ..obs.export import write_trace
+from ..obs.tracing import current_tracer, span
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "BenchPoint",
+    "time_call",
+    "BudgetedRunner",
+    "emit_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -119,7 +130,23 @@ class BudgetedRunner:
         """Measure one sweep point, or skip it once the budget is blown."""
         if self._blown:
             return BenchPoint(x=x, algorithm=algorithm, seconds=None)
-        result, seconds = time_call(fn)
+        with span("bench.point", algorithm=algorithm, x=x):
+            result, seconds = time_call(fn)
         if seconds > self.budget:
             self._blown = True
         return BenchPoint(x=x, algorithm=algorithm, seconds=seconds, result=result)
+
+
+def emit_trace(directory: str | Path, stem: str) -> Path | None:
+    """Write the active tracer's spans as a Chrome trace next to results.
+
+    Returns the written path (``<directory>/<stem>.trace.json``), or None
+    when tracing is disabled or no spans were recorded.  The tracer is
+    cleared afterwards so consecutive figures get separate trace files.
+    """
+    tracer = current_tracer()
+    if tracer is None or not tracer.roots:
+        return None
+    path = write_trace(Path(directory) / f"{stem}.trace.json", tracer.roots)
+    tracer.clear()
+    return path

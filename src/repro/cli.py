@@ -20,6 +20,10 @@ Subcommands
     histogram, dimension influence, hidden gems, robust winners.
 ``bench``
     Regenerate one evaluation figure (or ``all``) at a chosen scale.
+
+Every subcommand additionally accepts the observability flags
+``--trace[=FILE]``, ``--metrics``, and ``--profile``
+(see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -30,16 +34,67 @@ from pathlib import Path
 
 __all__ = ["main", "build_parser"]
 
+_EPILOG = """\
+observability (accepted by every subcommand; see docs/OBSERVABILITY.md):
+  --trace[=FILE]   record tracing spans; Chrome trace JSON to FILE
+                   (.ndjson for NDJSON), console tree when FILE is omitted
+  --metrics        print the metrics registry on exit (counters, Q1/Q2
+                   latency percentiles, dominance comparisons)
+  --profile        cProfile + tracemalloc around the command; print the
+                   top hotspots on exit
+"""
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="record tracing spans; write Chrome trace JSON to FILE "
+        "(NDJSON when FILE ends in .ndjson), or print a console tree "
+        "when FILE is omitted",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (counters and latency percentiles) "
+        "on exit",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the command (cProfile + tracemalloc) and print the "
+        "top hotspots on exit",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-skycube",
         description="Compressed multidimensional skyline cubes (Stellar, ICDE 2007)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_gen = sub.add_parser("generate", help="generate a synthetic dataset CSV")
+    p_gen = sub.add_parser(
+        "generate", help="generate a synthetic dataset CSV", parents=[obs]
+    )
     p_gen.add_argument(
         "--distribution",
         default="independent",
@@ -53,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gen.add_argument("--out", required=True, help="output CSV path")
 
-    p_run = sub.add_parser("run", help="compute the compressed skyline cube")
+    p_run = sub.add_parser(
+        "run", help="compute the compressed skyline cube", parents=[obs]
+    )
     p_run.add_argument("--input", required=True, help="dataset CSV")
     p_run.add_argument(
         "--algorithm", default="stellar", choices=["stellar", "skyey"]
@@ -62,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-groups", type=int, default=50, help="signatures to print (0 = all)"
     )
 
-    p_sky = sub.add_parser("skyline", help="one skyline query")
+    p_sky = sub.add_parser("skyline", help="one skyline query", parents=[obs])
     p_sky.add_argument("--input", required=True, help="dataset CSV")
     p_sky.add_argument(
         "--subspace", default=None, help="subspace, e.g. 'AC' or 'price,stops'"
@@ -74,7 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_cube = sub.add_parser(
-        "cube", help="precompute the compressed cube and save it to JSON"
+        "cube",
+        help="precompute the compressed cube and save it to JSON",
+        parents=[obs],
     )
     p_cube.add_argument("--input", required=True, help="dataset CSV")
     p_cube.add_argument("--out", required=True, help="cube JSON path")
@@ -82,7 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="stellar", choices=["stellar", "skyey"]
     )
 
-    p_query = sub.add_parser("query", help="query the compressed cube")
+    p_query = sub.add_parser(
+        "query", help="query the compressed cube", parents=[obs]
+    )
     p_query.add_argument("--input", required=True, help="dataset CSV")
     p_query.add_argument(
         "--cube",
@@ -105,7 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_analyze = sub.add_parser(
-        "analyze", help="multidimensional skyline analytics over a dataset"
+        "analyze",
+        help="multidimensional skyline analytics over a dataset",
+        parents=[obs],
     )
     p_analyze.add_argument("--input", required=True, help="dataset CSV")
     p_analyze.add_argument(
@@ -118,7 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimal combined-criteria count for the hidden-gem report",
     )
 
-    p_bench = sub.add_parser("bench", help="regenerate evaluation figures")
+    p_bench = sub.add_parser(
+        "bench", help="regenerate evaluation figures", parents=[obs]
+    )
     p_bench.add_argument(
         "figure", help="fig8 | fig9 | fig10 | fig11 | fig12 | all"
     )
@@ -144,7 +209,59 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
     }[args.command]
-    return handler(args)
+    return _run_observed(handler, args)
+
+
+def _run_observed(handler, args: argparse.Namespace) -> int:
+    """Run a subcommand under the observability flags, if any were given.
+
+    ``--trace``/``--profile`` install a process-global tracer for the
+    duration of the command; ``--metrics`` prints the metrics registry
+    (latency histograms, dominance-comparison totals) afterwards.  Without
+    any of the flags the handler runs untouched -- the disabled-mode fast
+    path of :mod:`repro.obs` costs nothing.
+    """
+    trace_dest: str | None = getattr(args, "trace", None)
+    want_metrics: bool = getattr(args, "metrics", False)
+    want_profile: bool = getattr(args, "profile", False)
+    if trace_dest is None and not want_metrics and not want_profile:
+        return handler(args)
+
+    from .obs import (
+        disable_tracing,
+        enable_tracing,
+        profiled,
+        registry,
+        render_span_tree,
+        write_trace,
+    )
+
+    tracer = enable_tracing() if (trace_dest is not None or want_profile) else None
+    profile_report = None
+    try:
+        if want_profile:
+            with profiled(top_n=15) as profile_report:
+                rc = handler(args)
+        else:
+            rc = handler(args)
+    finally:
+        if tracer is not None:
+            disable_tracing()
+    if tracer is not None and trace_dest is not None and tracer.roots:
+        if trace_dest == "-":
+            print(render_span_tree(tracer.roots))
+        else:
+            path = write_trace(trace_dest, tracer.roots)
+            print(f"trace written to {path}", file=sys.stderr)
+    if want_metrics:
+        from .core.dominance import COMPARISONS
+
+        reg = registry()
+        reg.gauge("dominance.comparisons").set(COMPARISONS.value)
+        print(reg.render())
+    if profile_report is not None:
+        print(profile_report.render())
+    return rc
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -293,7 +410,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import FIGURES, run_figure
+    from .bench import FIGURES, emit_trace, run_figure
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
@@ -303,6 +420,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.out:
             path = result.save(Path(args.out))
             print(f"saved {path}")
+            trace_path = emit_trace(args.out, path.stem)
+            if trace_path is not None:
+                print(f"saved {trace_path}")
     return 0
 
 

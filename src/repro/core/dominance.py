@@ -29,7 +29,40 @@ __all__ = [
     "strictly_less_mask",
     "equal_mask",
     "PairwiseMatrices",
+    "ComparisonCounter",
+    "COMPARISONS",
 ]
+
+
+class ComparisonCounter:
+    """Running count of pairwise dominance tests performed.
+
+    Comparison counts are the hardware-independent cost metric of the
+    skyline literature (every algorithm paper since BNL reports them), so
+    the primitives in this module and the skyline implementations feed a
+    single process-global instance, :data:`COMPARISONS`.  Vectorised code
+    adds the number of *logical* object-pair tests per numpy broadcast, so
+    counts are comparable across the pure-Python and vectorised paths.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Record ``n`` pairwise tests."""
+        self.value += n
+
+    def reset(self) -> int:
+        """Zero the counter; returns the value it had."""
+        value = self.value
+        self.value = 0
+        return value
+
+
+#: Process-global pairwise-test counter (see :class:`ComparisonCounter`).
+COMPARISONS = ComparisonCounter()
 
 
 def strictly_less_mask(
@@ -40,6 +73,7 @@ def strictly_less_mask(
     This is the dominance-matrix cell ``dom[i, j]`` restricted to
     ``universe`` (defaults to the full space).
     """
+    COMPARISONS.add(1)
     mask = _pack(minimized[i] < minimized[j])
     if universe is not None:
         mask &= universe
@@ -50,6 +84,7 @@ def equal_mask(
     minimized: np.ndarray, i: int, j: int, universe: int | None = None
 ) -> int:
     """Mask of dimensions where objects ``i`` and ``j`` coincide (``co[i, j]``)."""
+    COMPARISONS.add(1)
     mask = _pack(minimized[i] == minimized[j])
     if universe is not None:
         mask &= universe
@@ -62,6 +97,7 @@ def dominates(minimized: np.ndarray, i: int, j: int, subspace: int) -> bool:
     ``i`` dominates ``j`` when ``i`` is no worse on every dimension of the
     subspace and strictly better on at least one (Section 2).
     """
+    COMPARISONS.add(1)
     worse = _pack(minimized[i] > minimized[j]) & subspace
     if worse:
         return False
@@ -124,6 +160,7 @@ class PairwiseMatrices:
         """Row ``dom[i, *]`` as a packed numpy vector (local index ``i``)."""
         row = self._dom_rows.get(i)
         if row is None:
+            COMPARISONS.add(len(self.indices))
             cmp = (self._sub[i] < self._sub).astype(self._pow2.dtype)
             row = cmp @ self._pow2
             self._dom_rows[i] = row
@@ -133,6 +170,7 @@ class PairwiseMatrices:
         """Row ``co[i, *]`` as a packed numpy vector (local index ``i``)."""
         row = self._eq_rows.get(i)
         if row is None:
+            COMPARISONS.add(len(self.indices))
             cmp = (self._sub[i] == self._sub).astype(self._pow2.dtype)
             row = cmp @ self._pow2
             self._eq_rows[i] = row

@@ -21,14 +21,14 @@ compress the subspace skylines well (Section 6).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.tracing import Span, SpanBackedTimings, Tracer, current_tracer
 from ..skyline import compute_skyline
 from .cgroups import enumerate_maximal_cgroups
-from .dominance import PairwiseMatrices
+from .dominance import COMPARISONS, PairwiseMatrices
 from .extension import extend_with_nonseeds
 from .seeds import SeedGroup, compute_seed_groups
 from .types import Dataset, SkylineGroup
@@ -37,8 +37,14 @@ __all__ = ["StellarStats", "StellarResult", "stellar"]
 
 
 @dataclass
-class StellarStats:
-    """Counters and per-phase wall-clock timings of one Stellar run."""
+class StellarStats(SpanBackedTimings):
+    """Counters and the recorded span tree of one Stellar run.
+
+    Per-phase wall-clock timings are exposed through the inherited
+    ``timings`` property (derived from ``root_span``; the hand-maintained
+    dict of earlier versions is gone, keys and ``total_seconds`` semantics
+    are unchanged).
+    """
 
     n_objects: int = 0
     n_dims: int = 0
@@ -48,12 +54,8 @@ class StellarStats:
     n_groups: int = 0
     #: Objects collapsed by duplicate binding (0 unless enabled and found).
     n_bound_duplicates: int = 0
-    timings: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_seconds(self) -> float:
-        """Total wall-clock time across all phases."""
-        return sum(self.timings.values())
+    #: Root tracing span of the run; phases are its direct children.
+    root_span: Span | None = None
 
 
 @dataclass
@@ -106,36 +108,76 @@ def stellar(
         Off by default -- the core pipeline handles duplicates natively --
         but worthwhile on data with heavy exact duplication.
     """
-    if bind_duplicates and dataset.n_objects:
-        return _stellar_bound(dataset, skyline_algorithm)
-    return _stellar_core(dataset, skyline_algorithm)
+    tracer = current_tracer()
+    if tracer is None:
+        # Record phase spans even without ambient tracing: StellarStats
+        # derives its timings from this tree.
+        tracer = Tracer()
+    with tracer.span(
+        "stellar",
+        algorithm=skyline_algorithm,
+        n_objects=dataset.n_objects,
+        n_dims=dataset.n_dims,
+    ) as root:
+        if bind_duplicates and dataset.n_objects:
+            result = _stellar_bound(dataset, skyline_algorithm, tracer)
+        else:
+            result = _stellar_core(dataset, skyline_algorithm, tracer)
+        result.stats.root_span = root
+    return result
 
 
-def _stellar_core(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
+def _phase(tracer: Tracer, name: str):
+    """Open one Stellar phase span, pre-wired with the comparison counter."""
+    return _PhaseHandle(tracer, name)
+
+
+class _PhaseHandle:
+    """Span handle that records the phase's dominance-comparison delta."""
+
+    __slots__ = ("_handle", "_span", "_before")
+
+    def __init__(self, tracer: Tracer, name: str):
+        self._handle = tracer.span(name)
+
+    def __enter__(self) -> Span:
+        self._before = COMPARISONS.value
+        self._span = self._handle.__enter__()
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        self._span.count(
+            "dominance_comparisons", COMPARISONS.value - self._before
+        )
+        return self._handle.__exit__(*exc)
+
+
+def _stellar_core(
+    dataset: Dataset, skyline_algorithm: str, tracer: Tracer
+) -> StellarResult:
     stats = StellarStats(n_objects=dataset.n_objects, n_dims=dataset.n_dims)
     if dataset.n_objects == 0:
         return StellarResult(groups=[], seed_groups=[], seeds=[], stats=stats)
 
-    t0 = time.perf_counter()
-    seeds = compute_skyline(dataset, None, algorithm=skyline_algorithm)
-    t1 = time.perf_counter()
-    stats.timings["full_space_skyline"] = t1 - t0
+    with _phase(tracer, "full_space_skyline") as sp:
+        seeds = compute_skyline(dataset, None, algorithm=skyline_algorithm)
+        sp.count("seeds", len(seeds))
     stats.n_seeds = len(seeds)
 
-    matrices = PairwiseMatrices(dataset, seeds)
-    cgroups = enumerate_maximal_cgroups(matrices)
-    t2 = time.perf_counter()
-    stats.timings["maximal_cgroups"] = t2 - t1
+    with _phase(tracer, "maximal_cgroups") as sp:
+        matrices = PairwiseMatrices(dataset, seeds)
+        cgroups = enumerate_maximal_cgroups(matrices)
+        sp.count("maximal_cgroups", len(cgroups))
     stats.n_maximal_cgroups = len(cgroups)
 
-    seed_groups = compute_seed_groups(dataset, matrices, cgroups)
-    t3 = time.perf_counter()
-    stats.timings["seed_decisive"] = t3 - t2
+    with _phase(tracer, "seed_decisive") as sp:
+        seed_groups = compute_seed_groups(dataset, matrices, cgroups)
+        sp.count("seed_groups", len(seed_groups))
     stats.n_seed_groups = len(seed_groups)
 
-    groups = extend_with_nonseeds(dataset, matrices, seed_groups)
-    t4 = time.perf_counter()
-    stats.timings["nonseed_extension"] = t4 - t3
+    with _phase(tracer, "nonseed_extension") as sp:
+        groups = extend_with_nonseeds(dataset, matrices, seed_groups)
+        sp.count("groups", len(groups))
     stats.n_groups = len(groups)
 
     return StellarResult(
@@ -143,7 +185,9 @@ def _stellar_core(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
     )
 
 
-def _stellar_bound(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
+def _stellar_bound(
+    dataset: Dataset, skyline_algorithm: str, tracer: Tracer
+) -> StellarResult:
     """Run the pipeline on distinct rows, then expand duplicate bindings.
 
     Soundness: exact duplicates coincide on every dimension, so they share
@@ -152,29 +196,28 @@ def _stellar_bound(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
     its duplicate class is a bijection on skyline groups that leaves
     subspaces, decisive subspaces and projections untouched.
     """
-    t0 = time.perf_counter()
-    _, first_pos, inverse = np.unique(
-        dataset.values, axis=0, return_index=True, return_inverse=True
-    )
-    representatives = sorted(int(i) for i in first_pos)
-    if len(representatives) == dataset.n_objects:
-        result = _stellar_core(dataset, skyline_algorithm)
-        result.stats.timings["duplicate_binding"] = time.perf_counter() - t0
-        return result
+    with tracer.span("duplicate_binding") as bind_span:
+        _, first_pos, inverse = np.unique(
+            dataset.values, axis=0, return_index=True, return_inverse=True
+        )
+        representatives = sorted(int(i) for i in first_pos)
+        bound = dataset.n_objects - len(representatives)
+        bind_span.count("bound_duplicates", bound)
+        if bound:
+            # class id -> all original indices carrying that distinct row
+            classes: dict[int, list[int]] = {}
+            for obj, cls in enumerate(inverse):
+                classes.setdefault(int(cls), []).append(obj)
+            reduced = dataset.take(representatives)
+            # reduced position -> original duplicate set
+            expansion = {
+                pos: classes[int(inverse[rep])]
+                for pos, rep in enumerate(representatives)
+            }
+    if not bound:
+        return _stellar_core(dataset, skyline_algorithm, tracer)
 
-    # class id -> all original indices carrying that distinct row
-    classes: dict[int, list[int]] = {}
-    for obj, cls in enumerate(inverse):
-        classes.setdefault(int(cls), []).append(obj)
-    reduced = dataset.take(representatives)
-    # reduced position -> original duplicate set
-    expansion = {
-        pos: classes[int(inverse[rep])]
-        for pos, rep in enumerate(representatives)
-    }
-    bind_seconds = time.perf_counter() - t0
-
-    inner = _stellar_core(reduced, skyline_algorithm)
+    inner = _stellar_core(reduced, skyline_algorithm, tracer)
 
     def expand_members(members) -> frozenset[int]:
         out: set[int] = set()
@@ -205,10 +248,9 @@ def _stellar_bound(dataset: Dataset, skyline_algorithm: str) -> StellarResult:
 
     stats = inner.stats
     stats.n_objects = dataset.n_objects
-    stats.n_bound_duplicates = dataset.n_objects - len(representatives)
+    stats.n_bound_duplicates = bound
     stats.n_seeds = len(seeds)
     stats.n_groups = len(groups)
-    stats.timings["duplicate_binding"] = bind_seconds
     return StellarResult(
         groups=groups, seed_groups=seed_groups, seeds=seeds, stats=stats
     )

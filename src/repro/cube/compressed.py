@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.bitset import is_subset, iter_bits, popcount
 from ..core.types import Dataset, SkylineGroup
+from ..obs.tracing import span
 
 __all__ = [
     "CompressedSkylineCube",
@@ -125,17 +126,22 @@ class CompressedSkylineCube:
         cls, dataset: Dataset, algorithm: str = "stellar"
     ) -> "CompressedSkylineCube":
         """Compute the cube with ``"stellar"`` (default) or ``"skyey"``."""
-        if algorithm == "stellar":
-            from ..core.stellar import stellar
+        with span("cube.build", algorithm=algorithm) as sp:
+            if algorithm == "stellar":
+                from ..core.stellar import stellar
 
-            return cls(dataset, stellar(dataset).groups)
-        if algorithm == "skyey":
-            from ..baselines.skyey import skyey
+                groups = stellar(dataset).groups
+            elif algorithm == "skyey":
+                from ..baselines.skyey import skyey
 
-            return cls(dataset, skyey(dataset).groups)
-        raise ValueError(
-            f"unknown cube algorithm {algorithm!r}; use 'stellar' or 'skyey'"
-        )
+                groups = skyey(dataset).groups
+            else:
+                raise ValueError(
+                    f"unknown cube algorithm {algorithm!r}; "
+                    "use 'stellar' or 'skyey'"
+                )
+            sp.count("groups", len(groups))
+            return cls(dataset, groups)
 
     # -- Q1: subspace -> skyline objects ---------------------------------
 

@@ -11,10 +11,18 @@ like the paper's flight-ticket narrative::
 
 from __future__ import annotations
 
+import time
+
 from ..core.types import Dataset
+from ..obs.metrics import registry
+from ..obs.tracing import span
 from .compressed import CompressedSkylineCube
 
 __all__ = ["QueryEngine"]
+
+# Latency histograms, one per query family (handles survive metric resets).
+_Q1_LATENCY = registry().histogram("query.q1.seconds")
+_Q2_LATENCY = registry().histogram("query.q2.seconds")
 
 
 class QueryEngine:
@@ -36,24 +44,38 @@ class QueryEngine:
 
     def skyline(self, subspace: str) -> list[str]:
         """Labels of the skyline objects of the named subspace."""
-        mask = self.dataset.parse_subspace(subspace)
-        return [self.dataset.labels[i] for i in self.cube.skyline_of(mask)]
+        t0 = time.perf_counter()
+        with span("query.q1", subspace=subspace):
+            mask = self.dataset.parse_subspace(subspace)
+            out = [self.dataset.labels[i] for i in self.cube.skyline_of(mask)]
+        _Q1_LATENCY.observe(time.perf_counter() - t0)
+        registry().counter("query.q1.count").inc()
+        return out
 
     # -- Q2 ---------------------------------------------------------------
 
     def where_wins(self, label: str) -> list[str]:
         """Every subspace (rendered with names) where the object is skyline."""
-        obj = self._resolve(label)
-        return [
-            self.dataset.format_subspace(mask)
-            for mask in self.cube.membership_subspaces(obj)
-        ]
+        t0 = time.perf_counter()
+        with span("query.q2", label=label):
+            obj = self._resolve(label)
+            out = [
+                self.dataset.format_subspace(mask)
+                for mask in self.cube.membership_subspaces(obj)
+            ]
+        _Q2_LATENCY.observe(time.perf_counter() - t0)
+        registry().counter("query.q2.count").inc()
+        return out
 
     def wins_in(self, label: str, subspace: str) -> bool:
         """Is the object a skyline member of the named subspace?"""
+        t0 = time.perf_counter()
         obj = self._resolve(label)
         mask = self.dataset.parse_subspace(subspace)
-        return self.cube.is_skyline_in(obj, mask)
+        out = self.cube.is_skyline_in(obj, mask)
+        _Q2_LATENCY.observe(time.perf_counter() - t0)
+        registry().counter("query.q2.count").inc()
+        return out
 
     def signature_of(self, label: str) -> list[str]:
         """Paper-style signatures of every group containing the object."""

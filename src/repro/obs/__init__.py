@@ -1,0 +1,77 @@
+"""Observability layer: tracing spans, metrics registry, profiling hooks.
+
+The measurement substrate for the whole library (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.tracing` -- hierarchical spans with a context-manager /
+  decorator API and a zero-allocation disabled path;
+* :mod:`repro.obs.metrics` -- process-local counters, gauges, and
+  fixed-bucket histograms (latency percentiles);
+* :mod:`repro.obs.export` -- console tree, NDJSON, and Chrome
+  ``trace_event`` renderings of a finished trace;
+* :mod:`repro.obs.profile` -- opt-in cProfile/tracemalloc attached to spans.
+
+The CLI exposes all of it through global ``--trace[=FILE]``, ``--metrics``,
+and ``--profile`` flags.
+"""
+
+from .export import (
+    render_span_tree,
+    spans_from_ndjson,
+    spans_to_chrome_trace,
+    spans_to_ndjson,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_metrics,
+)
+from .profile import Hotspot, ProfileReport, profiled
+from .tracing import (
+    NULL_SPAN,
+    Span,
+    SpanBackedTimings,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "span",
+    "traced",
+    "current_tracer",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "SpanBackedTimings",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "registry",
+    "reset_metrics",
+    # export
+    "render_span_tree",
+    "spans_to_ndjson",
+    "spans_from_ndjson",
+    "spans_to_chrome_trace",
+    "write_trace",
+    # profiling
+    "profiled",
+    "ProfileReport",
+    "Hotspot",
+]

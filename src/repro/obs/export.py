@@ -1,0 +1,167 @@
+"""Trace exporters: console tree, NDJSON lines, Chrome ``trace_event`` JSON.
+
+Three renderings of the same span forest:
+
+* :func:`render_span_tree` -- box-drawing tree with durations, counters and
+  attributes; what ``--trace`` (no file) prints.
+* :func:`spans_to_ndjson` / :func:`spans_from_ndjson` -- one JSON object per
+  span, parent links by id; line-oriented so traces can be grepped,
+  streamed, or diffed.  The pair round-trips exactly.
+* :func:`spans_to_chrome_trace` -- the Chrome ``trace_event`` format
+  (``{"traceEvents": [...]}`` with complete ``"ph": "X"`` events), loadable
+  in ``about:tracing`` or https://ui.perfetto.dev.
+
+:func:`write_trace` picks the format from the file suffix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracing import Span
+
+__all__ = [
+    "render_span_tree",
+    "spans_to_ndjson",
+    "spans_from_ndjson",
+    "spans_to_chrome_trace",
+    "write_trace",
+]
+
+
+def _as_list(spans: Span | list[Span]) -> list[Span]:
+    return [spans] if isinstance(spans, Span) else list(spans)
+
+
+def _details(span: Span) -> str:
+    parts = [f"{k}={v}" for k, v in span.counters.items()]
+    parts += [f"{k}={v}" for k, v in span.attributes.items()]
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def render_span_tree(spans: Span | list[Span]) -> str:
+    """Pretty console tree of one or more span roots."""
+    lines: list[str] = []
+
+    def emit(span: Span, prefix: str, child_prefix: str) -> None:
+        ms = span.duration_ns / 1e6
+        lines.append(f"{prefix}{span.name}  {ms:.3f} ms{_details(span)}")
+        for i, child in enumerate(span.children):
+            last = i == len(span.children) - 1
+            branch = "└─ " if last else "├─ "
+            extend = "   " if last else "│  "
+            emit(child, child_prefix + branch, child_prefix + extend)
+
+    for root in _as_list(spans):
+        emit(root, "", "")
+    return "\n".join(lines)
+
+
+def spans_to_ndjson(spans: Span | list[Span]) -> str:
+    """Serialise a span forest as newline-delimited JSON (one span per line).
+
+    Each line carries ``id`` and ``parent`` (depth-first numbering) so the
+    tree is recoverable by :func:`spans_from_ndjson`.
+    """
+    lines: list[str] = []
+    next_id = 0
+
+    def emit(span: Span, parent: int | None) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        lines.append(
+            json.dumps(
+                {
+                    "id": sid,
+                    "parent": parent,
+                    "name": span.name,
+                    "start_ns": span.start_ns,
+                    "end_ns": span.end_ns,
+                    "attributes": span.attributes,
+                    "counters": span.counters,
+                },
+                sort_keys=True,
+            )
+        )
+        for child in span.children:
+            emit(child, sid)
+
+    for root in _as_list(spans):
+        emit(root, None)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_ndjson(text: str) -> list[Span]:
+    """Rebuild the span forest written by :func:`spans_to_ndjson`."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        span = Span(
+            name=payload["name"],
+            start_ns=payload.get("start_ns", 0),
+            end_ns=payload.get("end_ns"),
+            attributes=dict(payload.get("attributes", {})),
+            counters=dict(payload.get("counters", {})),
+        )
+        by_id[payload["id"]] = span
+        parent = payload.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    return roots
+
+
+def spans_to_chrome_trace(spans: Span | list[Span]) -> dict:
+    """Convert a span forest to the Chrome ``trace_event`` JSON structure.
+
+    Every span becomes one complete event (``"ph": "X"``) with microsecond
+    ``ts``/``dur`` relative to the earliest span, counters and attributes
+    merged into ``args``.  The result is ``json.dump``-able as is.
+    """
+    roots = _as_list(spans)
+    starts = [s.start_ns for s in roots if s.start_ns]
+    epoch = min(starts) if starts else 0
+    events: list[dict] = []
+
+    def emit(span: Span) -> None:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_ns - epoch) / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": 1,
+                "tid": 1,
+                "args": {**span.attributes, **span.counters},
+            }
+        )
+        for child in span.children:
+            emit(child)
+
+    for root in roots:
+        emit(root)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: str | Path, spans: Span | list[Span]) -> Path:
+    """Write a trace file; format chosen by suffix.
+
+    ``.ndjson`` / ``.jsonl`` write NDJSON lines, anything else the Chrome
+    ``trace_event`` JSON.  Parent directories are created as needed.
+    """
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix in (".ndjson", ".jsonl"):
+        path.write_text(spans_to_ndjson(spans))
+    else:
+        path.write_text(json.dumps(spans_to_chrome_trace(spans), indent=1) + "\n")
+    return path

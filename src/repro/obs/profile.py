@@ -1,0 +1,135 @@
+"""Opt-in profiling: cProfile hotspots and tracemalloc peaks, span-attached.
+
+Tracing spans answer *which phase* is slow; :func:`profiled` answers *which
+functions inside it*.  It is deliberately opt-in (``--profile`` on the CLI)
+because cProfile multiplies Python-level call cost severalfold -- never
+leave it enabled in a benchmark you intend to quote.
+
+Usage::
+
+    with profiled(top_n=10) as report:
+        stellar(dataset)
+    print(report.render())
+
+or attached to a span, in which case the top hotspots and the peak traced
+memory are recorded as span attributes and travel with the exported trace::
+
+    with span("stellar") as sp, profiled(span=sp):
+        ...
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Hotspot", "ProfileReport", "profiled"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One function's aggregate cost within a profiled region."""
+
+    function: str
+    cumulative_seconds: float
+    own_seconds: float
+    calls: int
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one :func:`profiled` region."""
+
+    hotspots: list[Hotspot] = field(default_factory=list)
+    peak_memory_kb: float | None = None
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        """Human-readable hotspot table."""
+        lines = [f"profile: {self.seconds:.3f}s wall"]
+        if self.peak_memory_kb is not None:
+            lines[0] += f", peak traced memory {self.peak_memory_kb:.0f} KiB"
+        for h in self.hotspots:
+            lines.append(
+                f"  {h.cumulative_seconds:8.3f}s cum  {h.own_seconds:8.3f}s own  "
+                f"{h.calls:>8} calls  {h.function}"
+            )
+        if not self.hotspots:
+            lines.append("  (no hotspots recorded)")
+        return "\n".join(lines)
+
+
+def _format_site(site: tuple[str, int, str]) -> str:
+    filename, lineno, funcname = site
+    if filename == "~":  # builtins have no file
+        return funcname
+    return f"{filename}:{lineno}({funcname})"
+
+
+def _top_hotspots(profiler: cProfile.Profile, top_n: int) -> list[Hotspot]:
+    stats = pstats.Stats(profiler)
+    rows = []
+    for site, (_, ncalls, tottime, cumtime, _) in stats.stats.items():  # type: ignore[attr-defined]
+        name = _format_site(site)
+        if "obs/profile.py" in name or "cProfile" in name:
+            continue
+        rows.append(
+            Hotspot(
+                function=name,
+                cumulative_seconds=cumtime,
+                own_seconds=tottime,
+                calls=ncalls,
+            )
+        )
+    rows.sort(key=lambda h: (-h.cumulative_seconds, h.function))
+    return rows[:top_n]
+
+
+@contextmanager
+def profiled(span=None, top_n: int = 10, trace_memory: bool = True):
+    """Profile the enclosed block; optionally annotate a tracing span.
+
+    Parameters
+    ----------
+    span:
+        A :class:`~repro.obs.tracing.Span` (or the null span) to annotate
+        with ``profile_top`` (rendered hotspot lines) and ``peak_memory_kb``.
+    top_n:
+        Number of hotspots kept, by cumulative time.
+    trace_memory:
+        Also run :mod:`tracemalloc` and record the peak.  Skipped when a
+        tracemalloc session is already active (nested profiling).
+    """
+    report = ProfileReport()
+    started_tracemalloc = False
+    if trace_memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracemalloc = True
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+        report.seconds = time.perf_counter() - t0
+        report.hotspots = _top_hotspots(profiler, top_n)
+        if started_tracemalloc:
+            report.peak_memory_kb = tracemalloc.get_traced_memory()[1] / 1024
+            tracemalloc.stop()
+        if span is not None:
+            span.annotate(
+                profile_top=[
+                    f"{h.cumulative_seconds:.4f}s {h.function}"
+                    for h in report.hotspots
+                ],
+                **(
+                    {"peak_memory_kb": round(report.peak_memory_kb, 1)}
+                    if report.peak_memory_kb is not None
+                    else {}
+                ),
+            )

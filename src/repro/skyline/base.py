@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.bitset import bit_list, full_mask
+from ..core.dominance import COMPARISONS
 
 __all__ = [
     "subspace_columns",
@@ -52,6 +53,7 @@ def subspace_columns(minimized: np.ndarray, subspace: int | None) -> np.ndarray:
 
 def dominates_rows(u: np.ndarray, v: np.ndarray) -> bool:
     """True when row ``u`` dominates row ``v`` (both already projected)."""
+    COMPARISONS.add(1)
     return bool(np.all(u <= v) and np.any(u < v))
 
 
@@ -64,6 +66,7 @@ def is_skyline_member(
     algorithms themselves.
     """
     proj = subspace_columns(minimized, subspace)
+    COMPARISONS.add(proj.shape[0])
     candidate = proj[i]
     no_worse = np.all(proj <= candidate, axis=1)
     strictly_better = np.any(proj < candidate, axis=1)
@@ -78,6 +81,7 @@ def skyline_brute(minimized: np.ndarray, subspace: int | None = None) -> list[in
     """
     proj = subspace_columns(minimized, subspace)
     n = proj.shape[0]
+    COMPARISONS.add(n * n)
     result = []
     for i in range(n):
         candidate = proj[i]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.dominance import COMPARISONS
 from .base import subspace_columns
 
 __all__ = ["skyline_bnl"]
@@ -38,6 +39,7 @@ def skyline_bnl(minimized: np.ndarray, subspace: int | None = None) -> list[int]
             if dominated:
                 survivors.append(w)
                 continue
+            COMPARISONS.add(1)
             other_no_worse = np.all(other <= candidate)
             if other_no_worse and np.any(other < candidate):
                 # A window object dominates the candidate; because window

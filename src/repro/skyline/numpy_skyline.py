@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.dominance import COMPARISONS
 from .base import subspace_columns
 from .sfs import monotone_order
 
@@ -48,6 +49,7 @@ def chunked_sorted_skyline(ordered: np.ndarray, chunk: int = _CHUNK) -> list[int
         alive = np.ones(c, dtype=bool)
         for ws in range(0, window.shape[0], _WINDOW_BLOCK):
             wblock = window[ws : ws + _WINDOW_BLOCK]
+            COMPARISONS.add(c * wblock.shape[0])
             le = np.all(wblock[None, :, :] <= block[:, None, :], axis=2)
             lt = np.any(wblock[None, :, :] < block[:, None, :], axis=2)
             alive &= ~np.any(le & lt, axis=1)
@@ -57,6 +59,7 @@ def chunked_sorted_skyline(ordered: np.ndarray, chunk: int = _CHUNK) -> list[int
         for i in np.flatnonzero(alive):
             candidate = block[i]
             if block_accepted:
+                COMPARISONS.add(len(block_accepted))
                 prior = block[block_accepted]
                 no_worse = np.all(prior <= candidate, axis=1)
                 if bool(no_worse.any()) and bool(

@@ -6,7 +6,9 @@ from collections.abc import Callable
 
 import numpy as np
 
+from ..core.dominance import COMPARISONS
 from ..core.types import Dataset
+from ..obs.tracing import current_tracer
 from .base import skyline_brute
 from .bbs import skyline_bbs
 from .bitmap import skyline_bitmap
@@ -77,4 +79,13 @@ def compute_skyline(
         raise ValueError(
             f"unknown skyline algorithm {algorithm!r}; known: auto, {known}"
         ) from None
-    return fn(matrix, subspace)
+    tracer = current_tracer()
+    if tracer is None:
+        return fn(matrix, subspace)
+    with tracer.span(f"skyline.{name}") as sp:
+        before = COMPARISONS.value
+        result = fn(matrix, subspace)
+        sp.annotate(n_objects=matrix.shape[0], subspace=subspace)
+        sp.count("dominance_comparisons", COMPARISONS.value - before)
+        sp.count("skyline_size", len(result))
+    return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.dominance import COMPARISONS
 from .base import subspace_columns
 
 __all__ = ["skyline_sfs", "monotone_order"]
@@ -45,6 +46,7 @@ def skyline_sfs(minimized: np.ndarray, subspace: int | None = None) -> list[int]
         dominated = False
         for s in skyline:
             other = proj[s]
+            COMPARISONS.add(1)
             if np.all(other <= candidate) and np.any(other < candidate):
                 dominated = True
                 break

@@ -24,6 +24,29 @@ class TestParser:
         assert args.scale == "default"
         assert args.out is None
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "1.0.0" in capsys.readouterr().out
+
+    def test_help_epilog_lists_observability_flags(self):
+        text = build_parser().format_help()
+        assert "--trace" in text
+        assert "--metrics" in text
+        assert "--profile" in text
+
+    def test_observability_flags_on_every_subcommand(self):
+        args = build_parser().parse_args(
+            ["run", "--input", "x.csv", "--trace", "t.json", "--metrics"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics is True
+        assert args.profile is False
+        args = build_parser().parse_args(["query", "--input", "x.csv",
+                                         "--skyline-of", "A", "--trace"])
+        assert args.trace == "-"  # console-tree mode
+
 
 class TestGenerate:
     def test_generate_synthetic(self, tmp_path, capsys):
@@ -129,6 +152,78 @@ class TestAnalyze:
             "analyze", "--input", routes_csv, "--cube", str(cube_path),
         ]) == 0
         assert "compression" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        from repro.obs import disable_tracing, reset_metrics
+
+        disable_tracing()
+        reset_metrics()
+        yield
+        disable_tracing()
+        reset_metrics()
+
+    def test_run_trace_writes_chrome_trace(self, routes_csv, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "run", "--input", routes_csv, "--trace", str(trace_path),
+        ]) == 0
+        assert trace_path.exists()
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {
+            "stellar",
+            "full_space_skyline",
+            "maximal_cgroups",
+            "seed_decisive",
+            "nonseed_extension",
+        } <= names
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+
+    def test_run_trace_ndjson(self, routes_csv, tmp_path):
+        from repro.obs import spans_from_ndjson
+
+        trace_path = tmp_path / "trace.ndjson"
+        assert main([
+            "run", "--input", routes_csv, "--trace", str(trace_path),
+        ]) == 0
+        roots = spans_from_ndjson(trace_path.read_text())
+        assert roots[0].name == "stellar"
+
+    def test_trace_console_tree(self, routes_csv, capsys):
+        assert main(["run", "--input", routes_csv, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "stellar" in out
+        assert "full_space_skyline" in out
+        assert "ms" in out
+
+    def test_query_metrics_prints_percentiles(self, routes_csv, capsys):
+        assert main([
+            "query", "--input", routes_csv, "--skyline-of", "price",
+            "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "query.q1.seconds" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "dominance.comparisons" in out
+
+    def test_profile_prints_hotspots(self, routes_csv, capsys):
+        assert main(["run", "--input", routes_csv, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "calls" in out
+
+    def test_bench_emits_trace_next_to_results(self, tmp_path, capsys):
+        assert main([
+            "bench", "fig10", "--scale", "smoke", "--out", str(tmp_path),
+            "--trace", str(tmp_path / "all.json"),
+        ]) == 0
+        assert (tmp_path / "figure_10.trace.json").exists()
 
 
 class TestBench:
