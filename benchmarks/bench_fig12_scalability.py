@@ -14,6 +14,11 @@ from repro.data import make_dataset
 
 SIZES = (1_000, 2_000, 4_000)
 FIG12_DIMS = {"correlated": 6, "independent": 4, "anticorrelated": 4}
+WORKERS = (1, 2, 4)
+
+
+def _spec(workers):
+    return "serial" if workers <= 1 else f"process:{workers}"
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -43,6 +48,49 @@ def test_both_at_largest_size(benchmark, dist):
     assert [g.key for g in stellar_result.groups] == [
         g.key for g in skyey_result.groups
     ]
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_stellar_correlated_workers_sweep(benchmark, workers):
+    data = make_dataset("correlated", SIZES[-1], FIG12_DIMS["correlated"], seed=2)
+    result = benchmark.pedantic(
+        stellar,
+        args=(data,),
+        kwargs={"parallel": _spec(workers)},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.groups
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_skyey_correlated_workers_sweep(benchmark, workers):
+    data = make_dataset("correlated", SIZES[-1], FIG12_DIMS["correlated"], seed=2)
+    result = benchmark.pedantic(
+        skyey,
+        args=(data,),
+        kwargs={"parallel": _spec(workers)},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.groups
+
+
+@pytest.mark.parametrize("dist", sorted(FIG12_DIMS))
+def test_parallel_matches_serial_at_largest_size(dist):
+    """Forced process pools must reproduce the serial cube bit-for-bit."""
+    data = make_dataset(dist, SIZES[-1], FIG12_DIMS[dist], seed=2)
+    serial_st = stellar(data, parallel="serial")
+    serial_sk = skyey(data, parallel="serial")
+    for workers in WORKERS[1:]:
+        par_st = stellar(data, parallel=_spec(workers))
+        par_sk = skyey(data, parallel=_spec(workers))
+        assert [g.key for g in par_st.groups] == [
+            g.key for g in serial_st.groups
+        ]
+        assert [g.key for g in par_sk.groups] == [
+            g.key for g in serial_sk.groups
+        ]
 
 
 def test_shape_near_linear_scaling():

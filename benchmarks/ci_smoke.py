@@ -1,0 +1,116 @@
+"""CI smoke benchmark: a pinned Figure-8 workload, serial vs parallel.
+
+Runs Stellar and Skyey on a small NBA-like dataset (the Figure 8 workload
+at smoke scale) twice -- once serially and once on a forced process pool --
+and fails loudly unless the two compressed cubes are identical field for
+field.  Chrome traces of both runs are written next to the results so a CI
+artifact captures where the time went (load them at ``chrome://tracing``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_smoke.py [--out DIR] [--workers N]
+
+Exit status 0 on success, 1 on any serial/parallel divergence.  The
+workload is pinned (seed, size, dimensionality) so timings are comparable
+across CI runs; absolute numbers still depend on the runner hardware, so
+only the identity check gates the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines.skyey import skyey
+from repro.bench.harness import emit_trace
+from repro.core.stellar import stellar
+from repro.data.nba import generate_nba_like
+from repro.obs.tracing import enable_tracing
+from repro.parallel import default_workers
+
+#: Pinned Figure-8 workload (see src/repro/bench/figures.py, smoke scale).
+SEED = 20070415
+PLAYERS = 300
+DIMS = 6
+
+
+def _fingerprint(groups) -> list[tuple]:
+    """Order-sensitive, field-for-field identity of a compressed cube."""
+    return [
+        (tuple(sorted(g.members)), g.subspace, g.decisive, g.projection)
+        for g in groups
+    ]
+
+
+def _run(algorithm, data, spec: str, out: Path, stem: str):
+    """One traced run; returns (fingerprint, wall_seconds, trace_path)."""
+    enable_tracing()
+    t0 = time.perf_counter()
+    result = algorithm(data, parallel=spec)
+    seconds = time.perf_counter() - t0
+    trace = emit_trace(out, stem)
+    return _fingerprint(result.groups), seconds, trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="smoke-results",
+        help="directory for traces and the summary JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process-pool size of the parallel runs (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    data = generate_nba_like(n_players=PLAYERS, seed=SEED).prefix_dims(DIMS)
+    spec = f"process:{args.workers}"
+    summary: dict[str, object] = {
+        "workload": {"players": PLAYERS, "dims": DIMS, "seed": SEED},
+        "parallel_spec": spec,
+        "host_cpus": default_workers(),
+        "runs": {},
+    }
+
+    failed = False
+    for name, algorithm in (("stellar", stellar), ("skyey", skyey)):
+        serial_fp, serial_s, _ = _run(
+            algorithm, data, "serial", out, f"ci_smoke_{name}_serial"
+        )
+        par_fp, par_s, _ = _run(
+            algorithm, data, spec, out, f"ci_smoke_{name}_parallel"
+        )
+        identical = serial_fp == par_fp
+        failed = failed or not identical
+        summary["runs"][name] = {
+            "groups": len(serial_fp),
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(par_s, 4),
+            "identical": identical,
+        }
+        status = "OK" if identical else "MISMATCH"
+        print(
+            f"{name:8s} serial {serial_s:7.3f}s  {spec} {par_s:7.3f}s  "
+            f"groups={len(serial_fp):4d}  {status}"
+        )
+
+    (out / "ci_smoke_summary.json").write_text(
+        json.dumps(summary, indent=1) + "\n"
+    )
+    if failed:
+        print("serial/parallel outputs diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Figure 9   skyline groups vs subspace skyline objects, NBA-like data
 Figure 10  the same two counts on the three synthetic distributions
 Figure 11  runtime vs dimensionality on the three distributions
 Figure 12  runtime vs database size on the three distributions
+Fig. 12w   runtime vs worker count at the largest database size
 =========  ==========================================================
 
 Runners accept a *scale* preset (``smoke`` / ``default`` / ``paper``):
@@ -26,6 +27,7 @@ from .figures import (
     figure10,
     figure11,
     figure12,
+    figure12_workers,
     run_figure,
 )
 from .harness import BenchPoint, SCALES, Scale, emit_trace, time_call
@@ -39,6 +41,7 @@ __all__ = [
     "figure10",
     "figure11",
     "figure12",
+    "figure12_workers",
     "FigureResult",
     "render_table",
     "Scale",

@@ -23,7 +23,8 @@ Subcommands
 
 Every subcommand additionally accepts the observability flags
 ``--trace[=FILE]``, ``--metrics``, and ``--profile``
-(see docs/OBSERVABILITY.md).
+(see docs/OBSERVABILITY.md) and the execution flag ``--parallel[=SPEC]``
+(see docs/PARALLEL.md).
 """
 
 from __future__ import annotations
@@ -42,6 +43,13 @@ observability (accepted by every subcommand; see docs/OBSERVABILITY.md):
                    latency percentiles, dominance comparisons)
   --profile        cProfile + tracemalloc around the command; print the
                    top hotspots on exit
+
+execution (accepted by every subcommand; see docs/PARALLEL.md):
+  --parallel[=SPEC]  run the hot paths on a worker pool; SPEC is a worker
+                     count (e.g. 4), serial, auto[:N], thread[:N], or
+                     process[:N]; bare --parallel means auto (size-based).
+                     Overrides the REPRO_PARALLEL environment variable.
+                     Outputs are bit-identical to serial runs.
 """
 
 
@@ -70,6 +78,17 @@ def _obs_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the command (cProfile + tracemalloc) and print the "
         "top hotspots on exit",
+    )
+    execution = parent.add_argument_group("execution")
+    execution.add_argument(
+        "--parallel",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="SPEC",
+        help="parallel execution spec: a worker count, serial, auto[:N], "
+        "thread[:N], or process[:N]; bare --parallel selects the backend "
+        "by data size (see docs/PARALLEL.md)",
     )
     return parent
 
@@ -185,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate evaluation figures", parents=[obs]
     )
     p_bench.add_argument(
-        "figure", help="fig8 | fig9 | fig10 | fig11 | fig12 | all"
+        "figure", help="fig8 | fig9 | fig10 | fig11 | fig12 | fig12w | all"
     )
     p_bench.add_argument(
         "--scale", default="default", help="smoke | default | paper"
@@ -213,14 +232,31 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run_observed(handler, args: argparse.Namespace) -> int:
-    """Run a subcommand under the observability flags, if any were given.
+    """Run a subcommand under the observability/execution flags, if any.
 
     ``--trace``/``--profile`` install a process-global tracer for the
     duration of the command; ``--metrics`` prints the metrics registry
-    (latency histograms, dominance-comparison totals) afterwards.  Without
-    any of the flags the handler runs untouched -- the disabled-mode fast
-    path of :mod:`repro.obs` costs nothing.
+    (latency histograms, dominance-comparison totals) afterwards;
+    ``--parallel`` installs the ambient parallel configuration every hot
+    path resolves (overriding ``REPRO_PARALLEL``).  Without any of the
+    flags the handler runs untouched -- the disabled-mode fast path of
+    :mod:`repro.obs` costs nothing.
     """
+    parallel_spec: str | None = getattr(args, "parallel", None)
+    if parallel_spec is not None:
+        from .parallel import parse_parallel_spec, use_parallel
+
+        try:
+            config = parse_parallel_spec(parallel_spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        with use_parallel(config):
+            # Re-enter without the flag so the observability wiring below
+            # runs inside the ambient parallel configuration.
+            args.parallel = None
+            return _run_observed(handler, args)
+
     trace_dest: str | None = getattr(args, "trace", None)
     want_metrics: bool = getattr(args, "metrics", False)
     want_profile: bool = getattr(args, "profile", False)

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel import chunk_ranges, get_shared, map_shards, resolve_parallel
 from .bitset import is_subset
 from .dominance import PairwiseMatrices
 from .hitting import minimal_hitting_sets
@@ -51,6 +52,10 @@ from .seeds import SeedGroup, singleton_decisive
 from .types import Dataset, SkylineGroup
 
 __all__ = ["extend_with_nonseeds", "share_and_beat_masks", "closed_masks"]
+
+#: ``auto`` engages the pool only above this many (group, non-seed) pairs;
+#: the share/beat broadcast is the dominant cost of the Theorem 5 pass.
+_PARALLEL_FLOOR = 1 << 20
 
 
 def share_and_beat_masks(
@@ -91,12 +96,11 @@ def closed_masks(masks: list[int]) -> set[int]:
     return closure
 
 
-def _batched_share_maps(
-    minimized: np.ndarray,
-    nonseeds: list[int],
+def _share_maps_block(
+    reps: np.ndarray,
+    subspaces: np.ndarray,
     ns_matrix: np.ndarray,
-    seed_groups: list[SeedGroup],
-    rep_globals: list[int],
+    ns_ids: np.ndarray,
     pow2: np.ndarray,
 ) -> list[dict[int, int]]:
     """Share masks of the *relevant* non-seeds for every seed group.
@@ -105,24 +109,23 @@ def _batched_share_maps(
     per-group Python work is proportional to the number of relevant
     non-seeds only, which keeps the Theorem 5 pass fast even with thousands
     of seed groups.
+
+    ``ns_matrix``/``ns_ids`` may be any contiguous slice of the non-seeds
+    (the parallel path shards along that axis); per-group dict keys come
+    out in ascending ``ns_ids`` order either way.
     """
-    n_groups = len(seed_groups)
+    n_groups = reps.shape[0]
     share_maps: list[dict[int, int]] = [dict() for _ in range(n_groups)]
     m, d = ns_matrix.shape
     if m == 0 or n_groups == 0:
         return share_maps
-    ns_array = np.asarray(nonseeds)
     # Bound the (block, m, d) boolean temporaries to ~32 MB apiece.
     block = max(1, min(n_groups, 32_000_000 // max(m * d, 1)))
-    subspaces = np.array(
-        [sg.subspace for sg in seed_groups],
-        dtype=pow2.dtype if pow2.dtype != object else object,
-    )
     for start in range(0, n_groups, block):
         stop = min(start + block, n_groups)
-        reps = minimized[rep_globals[start:stop], :]  # (g, d)
-        eq = ns_matrix[None, :, :] == reps[:, None, :]
-        lt = ns_matrix[None, :, :] < reps[:, None, :]
+        blk_reps = reps[start:stop, :]  # (g, d)
+        eq = ns_matrix[None, :, :] == blk_reps[:, None, :]
+        lt = ns_matrix[None, :, :] < blk_reps[:, None, :]
         share_blk = eq.astype(pow2.dtype) @ pow2
         beat_blk = lt.astype(pow2.dtype) @ pow2
         share_blk &= subspaces[start:stop, None]
@@ -133,8 +136,65 @@ def _batched_share_maps(
             if hits.size:
                 row = share_blk[gi]
                 share_maps[start + gi] = {
-                    int(ns_array[j]): int(row[j]) for j in hits
+                    int(ns_ids[j]): int(row[j]) for j in hits
                 }
+    return share_maps
+
+
+def _share_map_shard(bounds: tuple[int, int]) -> list[dict[int, int]]:
+    """Shard worker: share maps restricted to one non-seed row range."""
+    reps, subspaces, ns_matrix, ns_ids, pow2 = get_shared()
+    start, stop = bounds
+    return _share_maps_block(
+        reps, subspaces, ns_matrix[start:stop], ns_ids[start:stop], pow2
+    )
+
+
+def _batched_share_maps(
+    minimized: np.ndarray,
+    nonseeds: list[int],
+    ns_matrix: np.ndarray,
+    seed_groups: list[SeedGroup],
+    rep_globals: list[int],
+    pow2: np.ndarray,
+) -> list[dict[int, int]]:
+    """Share maps for every seed group, sharding non-seeds across workers.
+
+    Non-seed objects are folded in independently (Theorem 5), so the rows
+    of the share/beat broadcast split freely: each worker classifies one
+    contiguous slice of the non-seeds against *all* groups and the partial
+    per-group dicts merge by union.  Shards are ascending disjoint ranges
+    merged in shard order, so every per-group dict has exactly the serial
+    key order and the downstream decisive-subspace bindings are
+    deterministic.
+    """
+    n_groups = len(seed_groups)
+    if n_groups == 0:
+        return []
+    m = ns_matrix.shape[0]
+    reps = minimized[rep_globals, :]
+    subspaces = np.array(
+        [sg.subspace for sg in seed_groups],
+        dtype=pow2.dtype if pow2.dtype != object else object,
+    )
+    ns_ids = np.asarray(nonseeds, dtype=np.int64)
+    config = resolve_parallel()
+    workers = config.plan(m * n_groups, floor=_PARALLEL_FLOOR)
+    if workers <= 1 or m < 2 * workers:
+        return _share_maps_block(reps, subspaces, ns_matrix, ns_ids, pow2)
+    shards = map_shards(
+        "extension.share_maps",
+        _share_map_shard,
+        chunk_ranges(m, workers),
+        config=config,
+        workers=workers,
+        shared=(reps, subspaces, ns_matrix, ns_ids, pow2),
+    )
+    share_maps = shards[0]
+    for partial in shards[1:]:
+        for gi in range(n_groups):
+            if partial[gi]:
+                share_maps[gi].update(partial[gi])
     return share_maps
 
 

@@ -25,12 +25,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..parallel import chunk_ranges, get_shared, map_shards, resolve_parallel
 from .bitset import bit, iter_bits
-from .dominance import PairwiseMatrices
+from .dominance import COMPARISONS, PairwiseMatrices
 from .hitting import minimal_hitting_sets
 from .types import Dataset
 
 __all__ = ["SeedGroup", "compute_seed_groups", "singleton_decisive"]
+
+#: ``auto`` engages the pool only above this many (c-group, seed) pairs;
+#: below it the clause scan is a handful of vectorised row operations.
+_PARALLEL_FLOOR = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -92,23 +97,24 @@ def compute_seed_groups(
     """
     seeds = matrices.indices
     k = len(seeds)
+    config = resolve_parallel()
+    workers = config.plan(len(cgroups) * max(k, 1), floor=_PARALLEL_FLOOR)
+    if workers > 1 and len(cgroups) > 1:
+        verdicts = _parallel_clause_verdicts(matrices, cgroups, config, workers)
+    else:
+        verdicts = [
+            _clause_verdict(
+                matrices.dom_row_array(members[0]), members, subspace, k
+            )
+            for members, subspace in cgroups
+        ]
     groups: list[SeedGroup] = []
-    for local_members, subspace in cgroups:
-        rep = local_members[0]
-        dom_row = matrices.dom_row_array(rep)
-        mask = np.ones(k, dtype=bool)
-        mask[list(local_members)] = False
-        clause_arr = dom_row[mask] & subspace
-        if clause_arr.size and not clause_arr.all():
+    for (local_members, subspace), (keep, decisive) in zip(cgroups, verdicts):
+        if not keep:
             # Some outside seed u is never beaten inside B: the group's
             # projection is not exclusively in any skyline of a subspace
             # of B, so this c-group is not a skyline group.
             continue
-        if clause_arr.size:
-            clauses = [int(c) for c in np.unique(clause_arr)]
-            decisive = tuple(sorted(minimal_hitting_sets(clauses)))
-        else:
-            decisive = singleton_decisive(subspace)
         groups.append(
             SeedGroup(
                 local_members=tuple(local_members),
@@ -118,3 +124,70 @@ def compute_seed_groups(
             )
         )
     return groups
+
+
+def _clause_verdict(
+    dom_row: np.ndarray,
+    local_members: tuple[int, ...],
+    subspace: int,
+    k: int,
+) -> tuple[bool, tuple[int, ...]]:
+    """Keep/drop verdict and decisive subspaces of one maximal c-group.
+
+    ``dom_row`` is the representative's packed dominance row over all ``k``
+    seeds; the clause family is ``B ∩ dom[rep, u]`` for every outside seed
+    ``u`` (Corollary 1).  Pure function of its inputs, so it computes the
+    same answer whether the row came from the parent's cached
+    :class:`~repro.core.dominance.PairwiseMatrices` or was re-derived
+    inside a pool worker.
+    """
+    mask = np.ones(k, dtype=bool)
+    mask[list(local_members)] = False
+    clause_arr = dom_row[mask] & subspace
+    if clause_arr.size and not clause_arr.all():
+        return False, ()
+    if clause_arr.size:
+        clauses = [int(c) for c in np.unique(clause_arr)]
+        decisive = tuple(sorted(minimal_hitting_sets(clauses)))
+    else:
+        decisive = singleton_decisive(subspace)
+    return True, decisive
+
+
+def _clause_shard(bounds: tuple[int, int]) -> list[tuple[bool, tuple[int, ...]]]:
+    """Shard worker: verdicts for one contiguous slice of the c-group list."""
+    sub, pow2, cgroups = get_shared()
+    start, stop = bounds
+    k = sub.shape[0]
+    out: list[tuple[bool, tuple[int, ...]]] = []
+    for local_members, subspace in cgroups[start:stop]:
+        rep = local_members[0]
+        # Same packed comparison as PairwiseMatrices.dom_row_array; counted
+        # identically so cost accounting survives the move into a worker.
+        COMPARISONS.add(k)
+        dom_row = (sub[rep] < sub).astype(pow2.dtype) @ pow2
+        out.append(_clause_verdict(dom_row, local_members, subspace, k))
+    return out
+
+
+def _parallel_clause_verdicts(
+    matrices: PairwiseMatrices,
+    cgroups: list[tuple[tuple[int, ...], int]],
+    config,
+    workers: int,
+) -> list[tuple[bool, tuple[int, ...]]]:
+    """Fan the clause scan out over contiguous c-group shards.
+
+    Workers re-derive dominance rows from the seed submatrix instead of
+    shipping the parent's row cache; shard outputs concatenate in shard
+    order, so the verdict list is element-for-element the serial one.
+    """
+    shards = map_shards(
+        "seeds.clauses",
+        _clause_shard,
+        chunk_ranges(len(cgroups), workers),
+        config=config,
+        workers=workers,
+        shared=(matrices.sub_matrix, matrices.pack_weights, cgroups),
+    )
+    return [verdict for shard in shards for verdict in shard]

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.tracing import Span, SpanBackedTimings, Tracer, current_tracer
+from ..parallel import resolve_parallel, use_parallel
 from ..skyline import compute_skyline
 from .cgroups import enumerate_maximal_cgroups
 from .dominance import COMPARISONS, PairwiseMatrices
@@ -89,6 +90,7 @@ def stellar(
     dataset: Dataset,
     skyline_algorithm: str = "auto",
     bind_duplicates: bool = False,
+    parallel: object = None,
 ) -> StellarResult:
     """Compute the compressed skyline cube of ``dataset`` with Stellar.
 
@@ -107,7 +109,17 @@ def stellar(
         representative is expanded back to its duplicate set in the output.
         Off by default -- the core pipeline handles duplicates natively --
         but worthwhile on data with heavy exact duplication.
+    parallel:
+        Parallel-execution spec (``"process:4"``, a worker count, a
+        :class:`~repro.parallel.ParallelConfig`; see docs/PARALLEL.md).
+        ``None`` defers to the ambient configuration installed by the CLI
+        ``--parallel`` flag or the ``REPRO_PARALLEL`` environment variable.
+        The output is bit-identical to a serial run for every setting;
+        phase timing keys in :attr:`StellarResult.stats` are unchanged
+        because phases are orchestrated in the calling process and only
+        shard work moves to the pool.
     """
+    config = resolve_parallel(parallel)
     tracer = current_tracer()
     if tracer is None:
         # Record phase spans even without ambient tracing: StellarStats
@@ -118,11 +130,13 @@ def stellar(
         algorithm=skyline_algorithm,
         n_objects=dataset.n_objects,
         n_dims=dataset.n_dims,
+        parallel=config.describe(),
     ) as root:
-        if bind_duplicates and dataset.n_objects:
-            result = _stellar_bound(dataset, skyline_algorithm, tracer)
-        else:
-            result = _stellar_core(dataset, skyline_algorithm, tracer)
+        with use_parallel(config):
+            if bind_duplicates and dataset.n_objects:
+                result = _stellar_bound(dataset, skyline_algorithm, tracer)
+            else:
+                result = _stellar_core(dataset, skyline_algorithm, tracer)
         result.stats.root_span = root
     return result
 

@@ -9,7 +9,12 @@ import numpy as np
 from ..core.dominance import COMPARISONS
 from ..core.types import Dataset
 from ..obs.tracing import current_tracer
-from .base import skyline_brute
+from ..parallel import (
+    PARTITIONABLE_ALGORITHMS,
+    partitioned_skyline,
+    resolve_parallel,
+)
+from .base import skyline_brute, subspace_columns
 from .bbs import skyline_bbs
 from .bitmap import skyline_bitmap
 from .bnl import skyline_bnl
@@ -45,6 +50,7 @@ def compute_skyline(
     data: Dataset | np.ndarray,
     subspace: int | None = None,
     algorithm: str = "auto",
+    parallel: object = None,
 ) -> list[int]:
     """Compute the skyline of ``data`` in ``subspace``.
 
@@ -57,6 +63,13 @@ def compute_skyline(
         Dimension bitmask; ``None`` means the full space.
     algorithm:
         One of ``"auto"`` or a key of :data:`SKYLINE_ALGORITHMS`.
+    parallel:
+        Parallel-execution spec (see :mod:`repro.parallel`); ``None`` defers
+        to the ambient configuration / ``REPRO_PARALLEL``.  When the
+        resolved configuration engages and the algorithm supports chunking
+        (:data:`~repro.parallel.PARTITIONABLE_ALGORITHMS`), the skyline is
+        computed via partition-local skylines plus an exact merge -- the
+        result is bit-identical to the serial path.
 
     Returns
     -------
@@ -79,6 +92,17 @@ def compute_skyline(
         raise ValueError(
             f"unknown skyline algorithm {algorithm!r}; known: auto, {known}"
         ) from None
+
+    config = resolve_parallel(parallel)
+    workers = (
+        config.plan(matrix.shape[0])
+        if name in PARTITIONABLE_ALGORITHMS
+        else 0
+    )
+    if workers > 1:
+        proj = subspace_columns(matrix, subspace)
+        return partitioned_skyline(proj, name, config, workers)
+
     tracer = current_tracer()
     if tracer is None:
         return fn(matrix, subspace)
