@@ -3,7 +3,9 @@
 Demonstrates the intended production split: an offline job computes the
 compressed cube once (Stellar) and persists it; an online service loads
 the cube and answers the paper's three query families with microsecond
-latency and **zero** skyline computation.
+latency and **zero** skyline computation -- fully observed: structured
+JSON logs, a Prometheus ``/metrics`` + ``/healthz`` endpoint, and a
+slow-query log dumped on shutdown.
 
 Commands (one per line on stdin):
 
@@ -11,18 +13,30 @@ Commands (one per line on stdin):
     wins <label>              subspaces where the object is a skyline member
     top <k>                   top-k objects by number of subspaces won
     groups <label>            signatures of the object's skyline groups
+    explain <kind> <args>     resolution plan, e.g.  explain skyline price
     quit
 
 Run interactively:   python examples/subspace_query_service.py
 Or scripted:         printf 'skyline price\ntop 3\nquit\n' | python examples/subspace_query_service.py
+With metrics:        python examples/subspace_query_service.py --port 9090
+Health self-check:   python examples/subspace_query_service.py --selfcheck --scrape-out scrape.txt
 """
 
+import argparse
 import sys
 import tempfile
 from pathlib import Path
+from urllib.request import urlopen
 
 from repro import Dataset
 from repro.cube import CompressedSkylineCube, QueryEngine, load_cube, save_cube
+from repro.obs import (
+    configure_logging,
+    configure_slow_query_log,
+    get_logger,
+    slow_query_log,
+    start_metrics_server,
+)
 
 
 def build_catalog() -> Dataset:
@@ -40,20 +54,18 @@ def build_catalog() -> Dataset:
     )
 
 
-def main() -> None:
+def build_engine() -> QueryEngine:
+    """Offline step (compute + persist) followed by the online load."""
     dataset = build_catalog()
-
-    # --- offline: compute once, persist -------------------------------
     cube_path = Path(tempfile.gettempdir()) / "routes.cube.json"
     save_cube(CompressedSkylineCube.build(dataset), cube_path)
     print(f"[offline] cube persisted to {cube_path}")
+    return QueryEngine(load_cube(cube_path, dataset))
 
-    # --- online: load and serve ----------------------------------------
-    engine = QueryEngine(load_cube(cube_path, dataset))
-    print(f"[online] serving {dataset.n_objects} routes, "
-          f"{len(engine.cube.groups)} skyline groups; "
-          "commands: skyline/wins/top/groups/quit")
 
+def serve(engine: QueryEngine) -> None:
+    """The stdin command loop."""
+    dataset = engine.dataset
     for line in sys.stdin:
         parts = line.strip().split(None, 1)
         if not parts:
@@ -67,11 +79,19 @@ def main() -> None:
             elif command == "wins":
                 print("  " + "; ".join(engine.where_wins(arg)) or "  (nowhere)")
             elif command == "top":
-                for obj, count in engine.cube.top_frequent(int(arg)):
-                    print(f"  {dataset.labels[obj]}: wins in {count} subspaces")
+                for label, count in engine.top_frequent(int(arg)):
+                    print(f"  {label}: wins in {count} subspaces")
             elif command == "groups":
                 for signature in engine.signature_of(arg):
                     print("  " + signature)
+            elif command == "explain":
+                if not arg:
+                    print("  usage: explain <kind> <args...>")
+                    continue
+                kind, *rest = arg.split(None, 1)
+                qargs = rest[0].split(None, 1) if rest else []
+                plan = engine.explain(kind, *qargs)
+                print("\n".join("  " + ln for ln in plan.render().splitlines()))
             else:
                 print(f"  unknown command {command!r}")
         except (ValueError, KeyError) as exc:
@@ -79,5 +99,93 @@ def main() -> None:
     print("[online] bye")
 
 
+def selfcheck(engine: QueryEngine, scrape_out: str | None) -> int:
+    """One-shot health check: serve a few queries, scrape /metrics.
+
+    Returns a process exit code; non-zero when the health endpoint or the
+    metrics scrape fails.  Used by CI to archive a real Prometheus scrape.
+    """
+    engine.skyline("price,stops")
+    engine.where_wins("TK-YVR")
+    engine.top_frequent(3)
+    with start_metrics_server() as server:
+        with urlopen(f"{server.url}/healthz", timeout=5) as response:
+            if response.status != 200:
+                print(f"[selfcheck] /healthz -> {response.status}", file=sys.stderr)
+                return 1
+        with urlopen(f"{server.url}/metrics", timeout=5) as response:
+            body = response.read().decode("utf-8")
+            if response.status != 200 or "repro_query" not in body:
+                print("[selfcheck] /metrics scrape failed", file=sys.stderr)
+                return 1
+    if scrape_out:
+        Path(scrape_out).write_text(body)
+        print(f"[selfcheck] scrape written to {scrape_out}")
+    print("[selfcheck] ok: /healthz and /metrics healthy, "
+          f"{len(body.splitlines())} exposition lines")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="serve Prometheus /metrics + /healthz on this port while the "
+        "command loop runs (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--log-json", nargs="?", const="info", default=None, metavar="LEVEL",
+        help="emit structured JSON logs to stderr (default level: info)",
+    )
+    parser.add_argument(
+        "--slowlog", type=int, default=5, metavar="N",
+        help="retain the N slowest queries, dumped on shutdown (default 5)",
+    )
+    parser.add_argument(
+        "--selfcheck", action="store_true",
+        help="one-shot mode: run sample queries, verify /healthz and "
+        "/metrics, then exit (for CI health checks)",
+    )
+    parser.add_argument(
+        "--scrape-out", default=None, metavar="FILE",
+        help="with --selfcheck: write the /metrics scrape to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.log_json is not None:
+        configure_logging(args.log_json)
+    configure_slow_query_log(capacity=args.slowlog)
+    log = get_logger("examples.service")
+
+    engine = build_engine()
+    dataset = engine.dataset
+    log.info(
+        "service.ready",
+        extra={"objects": dataset.n_objects, "groups": len(engine.cube.groups)},
+    )
+
+    if args.selfcheck:
+        return selfcheck(engine, args.scrape_out)
+
+    server = None
+    if args.port is not None:
+        server = start_metrics_server(port=args.port)
+        print(f"[online] metrics at {server.url}/metrics "
+              f"(health: {server.url}/healthz)")
+    print(f"[online] serving {dataset.n_objects} routes, "
+          f"{len(engine.cube.groups)} skyline groups; "
+          "commands: skyline/wins/top/groups/explain/quit")
+    try:
+        serve(engine)
+    finally:
+        if server is not None:
+            server.close()
+        slowlog = slow_query_log()
+        if slowlog.entries():
+            print("[online] slow-query log:")
+            print("\n".join("  " + ln for ln in slowlog.render().splitlines()))
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -18,6 +18,10 @@ substrate was compiled C++; see DESIGN.md §4), and ``smoke`` is for tests.
 Per-point *time budgets* skip an algorithm once a smaller configuration of
 the same sweep exceeded the budget -- exactly the configurations where the
 paper's log-scale plots show it losing by orders of magnitude.
+
+Every CLI benchmark run also appends a normalized record to the
+``BENCH_<figure>.json`` trajectory ledger (:mod:`repro.bench.ledger`);
+``repro bench diff`` compares two entries and gates on regressions.
 """
 
 from .figures import (
@@ -31,6 +35,17 @@ from .figures import (
     run_figure,
 )
 from .harness import BenchPoint, SCALES, Scale, emit_trace, time_call
+from .ledger import (
+    LEDGER_FORMAT,
+    LedgerEntry,
+    Regression,
+    append_entry,
+    diff_entries,
+    entry_from_result,
+    ledger_path,
+    load_entries,
+    render_diff,
+)
 from .reporting import FigureResult, render_table
 
 __all__ = [
@@ -49,4 +64,14 @@ __all__ = [
     "BenchPoint",
     "time_call",
     "emit_trace",
+    # trajectory ledger
+    "LEDGER_FORMAT",
+    "LedgerEntry",
+    "Regression",
+    "ledger_path",
+    "append_entry",
+    "load_entries",
+    "entry_from_result",
+    "diff_entries",
+    "render_diff",
 ]

@@ -19,12 +19,15 @@ Subcommands
     Multidimensional skyline analytics: compression summary, decisive-size
     histogram, dimension influence, hidden gems, robust winners.
 ``bench``
-    Regenerate one evaluation figure (or ``all``) at a chosen scale.
+    Regenerate one evaluation figure (or ``all``) at a chosen scale; every
+    run appends a normalized entry to the ``BENCH_<figure>.json`` ledger,
+    and ``bench diff`` compares two ledger entries (non-zero exit on
+    regression).
 
 Every subcommand additionally accepts the observability flags
-``--trace[=FILE]``, ``--metrics``, and ``--profile``
-(see docs/OBSERVABILITY.md) and the execution flag ``--parallel[=SPEC]``
-(see docs/PARALLEL.md).
+``--trace[=FILE]``, ``--metrics``, ``--profile``, ``--log-json[=LEVEL]``,
+and ``--slowlog[=N]`` (see docs/OBSERVABILITY.md) and the execution flag
+``--parallel[=SPEC]`` (see docs/PARALLEL.md).
 """
 
 from __future__ import annotations
@@ -43,6 +46,11 @@ observability (accepted by every subcommand; see docs/OBSERVABILITY.md):
                    latency percentiles, dominance comparisons)
   --profile        cProfile + tracemalloc around the command; print the
                    top hotspots on exit
+  --log-json[=LEVEL]  emit structured JSON log records (span-correlated)
+                   to stderr; LEVEL is debug|info|warning|error (default
+                   info)
+  --slowlog[=N]    capture the N slowest queries (default 10) and print
+                   them, with their explain plans, on exit
 
 execution (accepted by every subcommand; see docs/PARALLEL.md):
   --parallel[=SPEC]  run the hot paths on a worker pool; SPEC is a worker
@@ -78,6 +86,25 @@ def _obs_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the command (cProfile + tracemalloc) and print the "
         "top hotspots on exit",
+    )
+    group.add_argument(
+        "--log-json",
+        nargs="?",
+        const="info",
+        default=None,
+        metavar="LEVEL",
+        help="emit structured JSON log records to stderr at LEVEL "
+        "(debug | info | warning | error; default info)",
+    )
+    group.add_argument(
+        "--slowlog",
+        nargs="?",
+        const=10,
+        default=None,
+        type=int,
+        metavar="N",
+        help="retain the N slowest queries (default 10) and print them, "
+        "with their explain plans, on exit",
     )
     execution = parent.add_argument_group("execution")
     execution.add_argument(
@@ -178,10 +205,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--where-wins", metavar="LABEL", help="Q2: subspaces where an object wins"
     )
     group.add_argument(
+        "--wins-in",
+        nargs=2,
+        metavar=("LABEL", "SUBSPACE"),
+        help="Q2: is the object in the subspace skyline?",
+    )
+    group.add_argument(
+        "--why-not",
+        nargs=2,
+        metavar=("LABEL", "SUBSPACE"),
+        help="explain the object's status (winners that dominate it) in a "
+        "subspace",
+    )
+    group.add_argument(
+        "--signature-of",
+        metavar="LABEL",
+        help="paper-style (G, B, C) signatures of the object's groups",
+    )
+    group.add_argument(
         "--top-frequent",
         metavar="K",
         type=int,
         help="top-K objects by number of subspaces won",
+    )
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query's resolution plan (strategy, groups touched, "
+        "comparisons) instead of the bare result",
     )
 
     p_analyze = sub.add_parser(
@@ -204,13 +255,44 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate evaluation figures", parents=[obs]
     )
     p_bench.add_argument(
-        "figure", help="fig8 | fig9 | fig10 | fig11 | fig12 | fig12w | all"
+        "figure",
+        help="fig8 | fig9 | fig10 | fig11 | fig12 | fig12w | all | diff",
     )
     p_bench.add_argument(
         "--scale", default="default", help="smoke | default | paper"
     )
     p_bench.add_argument(
         "--out", default=None, help="directory to save the rendered tables"
+    )
+    p_bench.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending this run to the BENCH_<figure>.json ledger",
+    )
+    ledger = p_bench.add_argument_group("ledger diff (figure = diff)")
+    ledger.add_argument(
+        "--ledger", default=None, metavar="FILE", help="ledger file to diff"
+    )
+    ledger.add_argument(
+        "--baseline",
+        type=int,
+        default=0,
+        metavar="IDX",
+        help="baseline entry index (default 0; negative indexes from the end)",
+    )
+    ledger.add_argument(
+        "--candidate",
+        type=int,
+        default=-1,
+        metavar="IDX",
+        help="candidate entry index (default -1, the latest entry)",
+    )
+    ledger.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="flag metrics that grew by more than FRAC (default 0.25 = +25%%)",
     )
 
     return parser
@@ -237,10 +319,13 @@ def _run_observed(handler, args: argparse.Namespace) -> int:
     ``--trace``/``--profile`` install a process-global tracer for the
     duration of the command; ``--metrics`` prints the metrics registry
     (latency histograms, dominance-comparison totals) afterwards;
-    ``--parallel`` installs the ambient parallel configuration every hot
-    path resolves (overriding ``REPRO_PARALLEL``).  Without any of the
-    flags the handler runs untouched -- the disabled-mode fast path of
-    :mod:`repro.obs` costs nothing.
+    ``--log-json`` switches structured JSON logging on process-wide (and,
+    through the worker initializer, in parallel workers); ``--slowlog``
+    sizes the slow-query log and dumps it on exit; ``--parallel`` installs
+    the ambient parallel configuration every hot path resolves (overriding
+    ``REPRO_PARALLEL``).  Without any of the flags the handler runs
+    untouched -- the disabled-mode fast path of :mod:`repro.obs` costs
+    nothing.
     """
     parallel_spec: str | None = getattr(args, "parallel", None)
     if parallel_spec is not None:
@@ -257,10 +342,37 @@ def _run_observed(handler, args: argparse.Namespace) -> int:
             args.parallel = None
             return _run_observed(handler, args)
 
+    log_level: str | None = getattr(args, "log_json", None)
+    if log_level is not None:
+        from .obs import configure_logging
+
+        try:
+            configure_logging(log_level)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    slowlog_n: int | None = getattr(args, "slowlog", None)
+    if slowlog_n is not None:
+        if slowlog_n <= 0:
+            print(
+                f"error: --slowlog must be positive, got {slowlog_n}",
+                file=sys.stderr,
+            )
+            return 2
+        from .obs import configure_slow_query_log
+
+        configure_slow_query_log(capacity=slowlog_n)
+
     trace_dest: str | None = getattr(args, "trace", None)
     want_metrics: bool = getattr(args, "metrics", False)
     want_profile: bool = getattr(args, "profile", False)
-    if trace_dest is None and not want_metrics and not want_profile:
+    if (
+        trace_dest is None
+        and not want_metrics
+        and not want_profile
+        and slowlog_n is None
+    ):
         return handler(args)
 
     from .obs import (
@@ -269,6 +381,7 @@ def _run_observed(handler, args: argparse.Namespace) -> int:
         profiled,
         registry,
         render_span_tree,
+        slow_query_log,
         write_trace,
     )
 
@@ -287,7 +400,11 @@ def _run_observed(handler, args: argparse.Namespace) -> int:
         if trace_dest == "-":
             print(render_span_tree(tracer.roots))
         else:
-            path = write_trace(trace_dest, tracer.roots)
+            try:
+                path = write_trace(trace_dest, tracer.roots)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
             print(f"trace written to {path}", file=sys.stderr)
     if want_metrics:
         from .core.dominance import COMPARISONS
@@ -297,6 +414,8 @@ def _run_observed(handler, args: argparse.Namespace) -> int:
         print(reg.render())
     if profile_report is not None:
         print(profile_report.render())
+    if slowlog_n is not None:
+        print(slow_query_log().render())
     return rc
 
 
@@ -393,15 +512,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
         engine = QueryEngine(load_cube(args.cube, dataset))
     else:
         engine = QueryEngine.build(dataset)
-    if args.skyline_of:
-        for label in engine.skyline(args.skyline_of):
-            print(label)
-    elif args.where_wins:
-        for subspace in engine.where_wins(args.where_wins):
-            print(subspace)
+
+    if args.skyline_of is not None:
+        kind, qargs = "skyline", [args.skyline_of]
+    elif args.where_wins is not None:
+        kind, qargs = "where-wins", [args.where_wins]
+    elif args.wins_in is not None:
+        kind, qargs = "wins-in", list(args.wins_in)
+    elif args.why_not is not None:
+        kind, qargs = "why-not", list(args.why_not)
+    elif args.signature_of is not None:
+        kind, qargs = "signature-of", [args.signature_of]
     else:
-        for obj, count in engine.cube.top_frequent(args.top_frequent):
-            print(f"{dataset.labels[obj]}\t{count}")
+        kind, qargs = "top-frequent", [args.top_frequent]
+
+    try:
+        if args.explain:
+            print(engine.explain(kind, *qargs).render())
+            return 0
+        if kind == "skyline":
+            for label in engine.skyline(*qargs):
+                print(label)
+        elif kind == "where-wins":
+            for subspace in engine.where_wins(*qargs):
+                print(subspace)
+        elif kind == "wins-in":
+            wins = engine.wins_in(*qargs)
+            print("yes" if wins else "no")
+            return 0 if wins else 1
+        elif kind == "why-not":
+            print(engine.why_not(*qargs))
+        elif kind == "signature-of":
+            for signature in engine.signature_of(*qargs):
+                print(signature)
+        else:
+            for label, count in engine.top_frequent(*qargs):
+                print(f"{label}\t{count}")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -446,13 +595,36 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "diff":
+        return _cmd_bench_diff(args)
+
     from .bench import FIGURES, emit_trace, run_figure
+    from .bench.ledger import append_entry, entry_from_result, ledger_path
+    from .core.dominance import COMPARISONS
+    from .parallel import active_parallel
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    config = active_parallel()
     for name in names:
+        comparisons_before = COMPARISONS.value
         result = run_figure(name, scale=args.scale)
         print(result.to_text())
         print()
+        if not args.no_ledger:
+            entry = entry_from_result(
+                result,
+                figure=name,
+                scale=args.scale,
+                comparisons=COMPARISONS.value - comparisons_before,
+                parallel=config.backend if config else "serial",
+                workers=config.effective_workers if config else 1,
+            )
+            # Ledgers live next to the figure tables when --out is given,
+            # else in the working directory (where the committed
+            # BENCH_<figure>.json baselines sit).
+            path = ledger_path(args.out or ".", name)
+            index = append_entry(path, entry)
+            print(f"ledger entry {index} appended to {path}")
         if args.out:
             path = result.save(Path(args.out))
             print(f"saved {path}")
@@ -460,6 +632,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if trace_path is not None:
                 print(f"saved {trace_path}")
     return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """``repro bench diff``: compare two ledger entries, exit 1 on regression."""
+    from .bench.ledger import diff_entries, load_entries, render_diff
+
+    if not args.ledger:
+        print("error: bench diff requires --ledger FILE", file=sys.stderr)
+        return 2
+    try:
+        entries = load_entries(args.ledger)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"error: {args.ledger}: no ledger entries", file=sys.stderr)
+        return 2
+    try:
+        baseline = entries[args.baseline]
+        candidate = entries[args.candidate]
+    except IndexError:
+        print(
+            f"error: entry index out of range (ledger has {len(entries)} "
+            f"entries, asked for baseline={args.baseline} "
+            f"candidate={args.candidate})",
+            file=sys.stderr,
+        )
+        return 2
+    if (baseline.figure, baseline.scale) != (candidate.figure, candidate.scale):
+        print(
+            f"warning: comparing {baseline.figure}[{baseline.scale}] against "
+            f"{candidate.figure}[{candidate.scale}] -- entries are only "
+            "meaningful like-for-like",
+            file=sys.stderr,
+        )
+    try:
+        diffs = diff_entries(baseline, candidate, args.threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(baseline, candidate, diffs, args.threshold))
+    return 1 if any(d.regressed for d in diffs) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -24,11 +24,12 @@ from .analysis import (
 from .compressed import CompressedSkylineCube
 from .io import load_cube, save_cube
 from .maintenance import MaintainedCube
-from .query import QueryEngine
+from .query import QueryEngine, QueryPlan
 
 __all__ = [
     "CompressedSkylineCube",
     "QueryEngine",
+    "QueryPlan",
     "MaintainedCube",
     "save_cube",
     "load_cube",

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.bitset import is_subset, iter_bits, popcount
+from ..core.dominance import COMPARISONS
 from ..core.types import Dataset, SkylineGroup
 from ..obs.tracing import span
 
@@ -299,6 +300,10 @@ class CompressedSkylineCube:
         dims = [d for d in iter_bits(subspace)]
         row = minimized[obj, dims]
         block = minimized[:, dims]
+        # One logical pairwise dominance test per object (the broadcast
+        # convention of repro.core.dominance): the fallback's cost shows up
+        # in the same comparison ledger as every skyline algorithm's.
+        COMPARISONS.add(self.dataset.n_objects)
         no_worse = np.all(block <= row, axis=1)
         strictly = np.any(block < row, axis=1)
         dominators = tuple(

@@ -1,4 +1,4 @@
-"""Label-based query front end over the compressed cube.
+"""Label-based query front end over the compressed cube, fully observed.
 
 :class:`QueryEngine` wraps a :class:`~repro.cube.compressed.CompressedSkylineCube`
 with the dataset's human-facing vocabulary: dimension *names* instead of
@@ -7,22 +7,132 @@ like the paper's flight-ticket narrative::
 
     engine.skyline("price,traveltime")      -> ["RouteA", "RouteC"]
     engine.where_wins("RouteC")             -> ["price", "price,stops", ...]
+
+Every query is observed (docs/OBSERVABILITY.md, *Serving observability*):
+it runs under a ``query.<family>.<kind>`` tracing span, feeds the
+``query.*`` metrics (latency histograms, per-counter totals), offers itself
+to the slow-query log, and produces a :class:`QueryPlan` describing *how*
+it was resolved -- which of the paper's three resolution routes answered
+it (a decisive-subspace hit, a walk over the membership lattice, or the
+Theorem-5-style dominance fallback), how many groups were touched, and how
+many comparisons were made.  :meth:`QueryEngine.explain` returns that plan
+directly; the plan's counters are, by construction, exactly the deltas the
+metrics registry records for the same query.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
-from ..core.types import Dataset
+from ..core.bitset import iter_bits
+from ..core.dominance import COMPARISONS
+from ..core.types import Dataset, SkylineGroup
+from ..obs.logging import get_logger
 from ..obs.metrics import registry
+from ..obs.slowlog import SlowQuery, slow_query_log
 from ..obs.tracing import span
 from .compressed import CompressedSkylineCube
 
-__all__ = ["QueryEngine"]
+__all__ = ["QueryEngine", "QueryPlan", "PLAN_COUNTERS"]
 
 # Latency histograms, one per query family (handles survive metric resets).
 _Q1_LATENCY = registry().histogram("query.q1.seconds")
 _Q2_LATENCY = registry().histogram("query.q2.seconds")
+_Q3_LATENCY = registry().histogram("query.q3.seconds")
+_LATENCY = {"q1": _Q1_LATENCY, "q2": _Q2_LATENCY, "q3": _Q3_LATENCY}
+
+#: Per-query work counters; each also exists in the metrics registry as
+#: ``query.<name>`` and every query increments registry and plan by the
+#: same amounts (that equality is what ``--explain`` exposes and tests pin).
+PLAN_COUNTERS = (
+    "groups_considered",
+    "groups_matched",
+    "interval_checks",
+    "subspaces_enumerated",
+    "dominance_comparisons",
+)
+
+_LOG = get_logger("query")
+
+
+@dataclass
+class QueryPlan:
+    """How one query was resolved: strategy, work counters, result shape.
+
+    Strategies (the three resolution routes of the compressed cube):
+
+    ``decisive-scan``
+        Q1: scan every group summary for interval containment
+        (``C ⊆ A ⊆ B``); no data access.
+    ``decisive-hit`` / ``group-miss``
+        Point membership: the first covering group answers positively; a
+        miss means no group of the object covers the subspace.
+    ``lattice-walk``
+        Q2/Q3 enumeration: materialise the subspace intervals of the
+        membership lattice.
+    ``theorem5-fallback``
+        The group summary cannot *witness* a negative why-not answer, so
+        dominators are recomputed from the data with direct dominance
+        tests (the same classification step Theorem 5 uses for non-seeds).
+    ``group-lookup`` / ``lattice-neighbors``
+        Direct group-index reads and one-step drill/roll navigation.
+    """
+
+    kind: str
+    family: str
+    argument: str
+    strategy: str = ""
+    counters: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in PLAN_COUNTERS}
+    )
+    result_size: int = 0
+    seconds: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Accumulate into one of the :data:`PLAN_COUNTERS`."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @property
+    def comparisons(self) -> int:
+        """Total comparisons: interval containment checks + dominance tests."""
+        return (
+            self.counters["interval_checks"]
+            + self.counters["dominance_comparisons"]
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (what the slow-query log retains)."""
+        return {
+            "kind": self.kind,
+            "family": self.family,
+            "argument": self.argument,
+            "strategy": self.strategy,
+            "counters": dict(self.counters),
+            "result_size": self.result_size,
+            "seconds": self.seconds,
+            "detail": dict(self.detail),
+        }
+
+    def render(self) -> str:
+        """Pretty EXPLAIN text (what ``repro query ... --explain`` prints)."""
+        c = self.counters
+        lines = [
+            f"EXPLAIN {self.family}.{self.kind}({self.argument})",
+            f"  strategy:              {self.strategy}",
+            f"  groups considered:     {c['groups_considered']}"
+            f"  (matched: {c['groups_matched']})",
+            f"  interval checks:       {c['interval_checks']}",
+            f"  subspaces enumerated:  {c['subspaces_enumerated']}",
+            f"  dominance comparisons: {c['dominance_comparisons']}",
+            f"  result size:           {self.result_size}",
+            f"  elapsed:               {self.seconds * 1e3:.3f} ms",
+        ]
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
 
 
 class QueryEngine:
@@ -34,81 +144,303 @@ class QueryEngine:
         self._label_to_index = {
             label: i for i, label in enumerate(self.dataset.labels)
         }
+        #: Plan of the most recently completed query (diagnostics).
+        self.last_plan: QueryPlan | None = None
 
     @classmethod
     def build(cls, dataset: Dataset, algorithm: str = "stellar") -> "QueryEngine":
         """Compute the cube for ``dataset`` and wrap it in an engine."""
         return cls(CompressedSkylineCube.build(dataset, algorithm=algorithm))
 
+    # -- observation -------------------------------------------------------
+
+    @contextmanager
+    def _observed(self, kind: str, family: str, argument: str):
+        """Run one query observed: span, metrics, slow-query log, plan.
+
+        Yields the :class:`QueryPlan` under construction; the body fills
+        ``strategy``, ``result_size`` and the work counters.  On exit the
+        plan's counters are mirrored 1:1 into the metrics registry (so
+        registry deltas equal the plan) and onto the span, the family
+        latency histogram gets exactly one observation, and the query is
+        offered to the process-global slow-query log.
+        """
+        plan = QueryPlan(kind=kind, family=family, argument=argument)
+        reg = registry()
+        comparisons_before = COMPARISONS.value
+        t0 = time.perf_counter()
+        with span(f"query.{family}.{kind}", argument=argument) as sp:
+            yield plan
+            plan.count(
+                "dominance_comparisons", COMPARISONS.value - comparisons_before
+            )
+            plan.seconds = time.perf_counter() - t0
+            sp.annotate(strategy=plan.strategy, result_size=plan.result_size)
+            for name, value in plan.counters.items():
+                if value:
+                    sp.count(name, value)
+        _LATENCY[family].observe(plan.seconds)
+        reg.counter(f"query.{family}.count").inc()
+        for name, value in plan.counters.items():
+            if value:
+                reg.counter(f"query.{name}").inc(value)
+        reg.counter(f"query.strategy.{plan.strategy}").inc()
+        slow_query_log().record(
+            SlowQuery(
+                kind=f"{family}.{kind}",
+                argument=argument,
+                seconds=plan.seconds,
+                span_id=sp.span_id,
+                plan=plan.to_dict(),
+            )
+        )
+        self.last_plan = plan
+        _LOG.debug(
+            "query.served",
+            extra={
+                "kind": f"{family}.{kind}",
+                "argument": argument,
+                "strategy": plan.strategy,
+                "seconds": round(plan.seconds, 6),
+                "result_size": plan.result_size,
+            },
+        )
+
+    def _scan_groups(
+        self, mask: int, groups: list[SkylineGroup], plan: QueryPlan
+    ) -> list[SkylineGroup]:
+        """Interval-containment scan mirroring ``covers_subspace``, counted.
+
+        One ``interval_checks`` unit per decisive subspace actually tested
+        (the scan short-circuits on the first hit, exactly like
+        :meth:`SkylineGroup.covers_subspace`).
+        """
+        matched: list[SkylineGroup] = []
+        for group in groups:
+            plan.count("groups_considered")
+            if mask & ~group.subspace:
+                continue
+            for c in group.decisive:
+                plan.count("interval_checks")
+                if c & ~mask == 0:
+                    matched.append(group)
+                    plan.count("groups_matched")
+                    break
+        return matched
+
+    def _enumerate_intervals(self, obj: int, plan: QueryPlan) -> list[int]:
+        """Materialise the membership lattice of ``obj``, counted.
+
+        Mirrors :meth:`CompressedSkylineCube.membership_subspaces`; one
+        ``subspaces_enumerated`` unit per interval element visited
+        (overlapping intervals re-visit shared subspaces).
+        """
+        groups = self.cube.groups_of(obj)
+        plan.count("groups_considered", len(groups))
+        plan.count("interval_checks", sum(len(g.decisive) for g in groups))
+        intervals = self.cube.membership_intervals(obj)
+        plan.count("groups_matched", len(intervals))
+        seen: set[int] = set()
+        for iv in intervals:
+            extra = iv.upper & ~iv.lower
+            sub = extra
+            while True:
+                seen.add(iv.lower | sub)
+                plan.count("subspaces_enumerated")
+                if sub == 0:
+                    break
+                sub = (sub - 1) & extra
+        return sorted(seen)
+
     # -- Q1 ---------------------------------------------------------------
 
     def skyline(self, subspace: str) -> list[str]:
         """Labels of the skyline objects of the named subspace."""
-        t0 = time.perf_counter()
-        with span("query.q1", subspace=subspace):
+        with self._observed("skyline", "q1", subspace) as plan:
             mask = self.dataset.parse_subspace(subspace)
-            out = [self.dataset.labels[i] for i in self.cube.skyline_of(mask)]
-        _Q1_LATENCY.observe(time.perf_counter() - t0)
-        registry().counter("query.q1.count").inc()
+            self.cube._check_subspace(mask)
+            plan.strategy = "decisive-scan"
+            matched = self._scan_groups(mask, self.cube.groups, plan)
+            members: set[int] = set()
+            for group in matched:
+                members.update(group.members)
+            out = [self.dataset.labels[i] for i in sorted(members)]
+            plan.result_size = len(out)
         return out
 
     # -- Q2 ---------------------------------------------------------------
 
     def where_wins(self, label: str) -> list[str]:
         """Every subspace (rendered with names) where the object is skyline."""
-        t0 = time.perf_counter()
-        with span("query.q2", label=label):
+        with self._observed("where_wins", "q2", label) as plan:
             obj = self._resolve(label)
-            out = [
-                self.dataset.format_subspace(mask)
-                for mask in self.cube.membership_subspaces(obj)
-            ]
-        _Q2_LATENCY.observe(time.perf_counter() - t0)
-        registry().counter("query.q2.count").inc()
+            plan.strategy = "lattice-walk"
+            masks = self._enumerate_intervals(obj, plan)
+            out = [self.dataset.format_subspace(m) for m in masks]
+            plan.result_size = len(out)
         return out
 
     def wins_in(self, label: str, subspace: str) -> bool:
         """Is the object a skyline member of the named subspace?"""
-        t0 = time.perf_counter()
-        obj = self._resolve(label)
-        mask = self.dataset.parse_subspace(subspace)
-        out = self.cube.is_skyline_in(obj, mask)
-        _Q2_LATENCY.observe(time.perf_counter() - t0)
-        registry().counter("query.q2.count").inc()
+        with self._observed("wins_in", "q2", f"{label} in {subspace}") as plan:
+            obj = self._resolve(label)
+            mask = self.dataset.parse_subspace(subspace)
+            self.cube._check_subspace(mask)
+            out = False
+            for group in self.cube.groups_of(obj):
+                plan.count("groups_considered")
+                if mask & ~group.subspace:
+                    continue
+                for c in group.decisive:
+                    plan.count("interval_checks")
+                    if c & ~mask == 0:
+                        out = True
+                        plan.count("groups_matched")
+                        break
+                if out:
+                    break
+            plan.strategy = "decisive-hit" if out else "group-miss"
+            plan.result_size = int(out)
         return out
 
     def signature_of(self, label: str) -> list[str]:
         """Paper-style signatures of every group containing the object."""
-        obj = self._resolve(label)
-        return [g.signature(self.dataset) for g in self.cube.groups_of(obj)]
+        with self._observed("signature_of", "q2", label) as plan:
+            obj = self._resolve(label)
+            plan.strategy = "group-lookup"
+            groups = self.cube.groups_of(obj)
+            plan.count("groups_considered", len(groups))
+            plan.count("groups_matched", len(groups))
+            out = [g.signature(self.dataset) for g in groups]
+            plan.result_size = len(out)
+        return out
 
     def why_not(self, label: str, subspace: str) -> str:
         """Human-readable explanation of the object's status in a subspace."""
-        obj = self._resolve(label)
-        mask = self.dataset.parse_subspace(subspace)
-        return self.cube.why_not(obj, mask).explain(self.dataset)
+        with self._observed("why_not", "q2", f"{label} in {subspace}") as plan:
+            obj = self._resolve(label)
+            mask = self.dataset.parse_subspace(subspace)
+            plan.count("groups_considered", len(self.cube.groups_of(obj)))
+            answer = self.cube.why_not(obj, mask)
+            if answer.is_skyline:
+                plan.strategy = "decisive-hit"
+                plan.count("groups_matched")
+                plan.result_size = 1
+            else:
+                plan.strategy = "theorem5-fallback"
+                plan.result_size = len(answer.dominators)
+                plan.detail["dominators"] = len(answer.dominators)
+            out = answer.explain(self.dataset)
+        return out
 
     # -- Q3 ---------------------------------------------------------------
 
     def drill_down(self, subspace: str) -> dict[str, list[str]]:
         """Skyline after adding each missing dimension to the subspace."""
-        mask = self.dataset.parse_subspace(subspace)
-        return {
-            self.dataset.format_subspace(bigger): [
-                self.dataset.labels[i] for i in skyline
-            ]
-            for _, bigger, skyline in self.cube.drill_down(mask)
-        }
+        with self._observed("drill_down", "q3", subspace) as plan:
+            mask = self.dataset.parse_subspace(subspace)
+            self.cube._check_subspace(mask)
+            plan.strategy = "lattice-neighbors"
+            out: dict[str, list[str]] = {}
+            for d in range(self.dataset.n_dims):
+                if mask & (1 << d):
+                    continue
+                bigger = mask | (1 << d)
+                matched = self._scan_groups(bigger, self.cube.groups, plan)
+                members: set[int] = set()
+                for group in matched:
+                    members.update(group.members)
+                out[self.dataset.format_subspace(bigger)] = [
+                    self.dataset.labels[i] for i in sorted(members)
+                ]
+            plan.result_size = len(out)
+        return out
 
     def roll_up(self, subspace: str) -> dict[str, list[str]]:
         """Skyline after removing each dimension of the subspace."""
-        mask = self.dataset.parse_subspace(subspace)
-        return {
-            self.dataset.format_subspace(smaller): [
-                self.dataset.labels[i] for i in skyline
+        with self._observed("roll_up", "q3", subspace) as plan:
+            mask = self.dataset.parse_subspace(subspace)
+            self.cube._check_subspace(mask)
+            plan.strategy = "lattice-neighbors"
+            out: dict[str, list[str]] = {}
+            for d in iter_bits(mask):
+                smaller = mask & ~(1 << d)
+                if smaller == 0:
+                    continue
+                matched = self._scan_groups(smaller, self.cube.groups, plan)
+                members: set[int] = set()
+                for group in matched:
+                    members.update(group.members)
+                out[self.dataset.format_subspace(smaller)] = [
+                    self.dataset.labels[i] for i in sorted(members)
+                ]
+            plan.result_size = len(out)
+        return out
+
+    def top_frequent(self, k: int) -> list[tuple[str, int]]:
+        """Top-k labels by skyline frequency (number of subspaces won)."""
+        with self._observed("top_frequent", "q3", str(k)) as plan:
+            if k < 0:
+                raise ValueError(f"k must be non-negative, got {k}")
+            plan.strategy = "lattice-walk"
+            objects = sorted({m for g in self.cube.groups for m in g.members})
+            frequencies = [
+                (obj, len(self._enumerate_intervals(obj, plan)))
+                for obj in objects
             ]
-            for _, smaller, skyline in self.cube.roll_up(mask)
-        }
+            frequencies.sort(key=lambda pair: (-pair[1], pair[0]))
+            out = [
+                (self.dataset.labels[obj], freq)
+                for obj, freq in frequencies[:k]
+            ]
+            plan.result_size = len(out)
+        return out
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    #: ``explain`` kinds -> the bound method and its arity.
+    _EXPLAINABLE = {
+        "skyline": ("skyline", 1),
+        "where-wins": ("where_wins", 1),
+        "wins-in": ("wins_in", 2),
+        "signature-of": ("signature_of", 1),
+        "why-not": ("why_not", 2),
+        "drill-down": ("drill_down", 1),
+        "roll-up": ("roll_up", 1),
+        "top-frequent": ("top_frequent", 1),
+    }
+
+    def explain(self, kind: str, *args: object) -> QueryPlan:
+        """Run one query and return its resolution plan.
+
+        ``kind`` is the hyphenated query name (``"skyline"``,
+        ``"where-wins"``, ``"wins-in"``, ``"why-not"``, ``"top-frequent"``,
+        ...); ``args`` are the query's own arguments.  The query *does*
+        execute (the plan is a faithful record, not an estimate), so the
+        metrics registry advances by exactly the plan's counters.  The
+        returned plan carries a preview of the result in
+        ``detail["result_preview"]``.
+        """
+        key = kind.strip().lower().replace("_", "-")
+        if key in ("q1",):
+            key = "skyline"
+        try:
+            method_name, arity = self._EXPLAINABLE[key]
+        except KeyError:
+            known = ", ".join(sorted(self._EXPLAINABLE))
+            raise ValueError(
+                f"cannot explain {kind!r}; known queries: {known}"
+            ) from None
+        if len(args) != arity:
+            raise ValueError(
+                f"explain({key!r}) takes {arity} argument(s), got {len(args)}"
+            )
+        coerced = [int(a) if key == "top-frequent" else str(a) for a in args]
+        result = getattr(self, method_name)(*coerced)
+        plan = self.last_plan
+        assert plan is not None  # _observed always sets it
+        plan.detail["result_preview"] = _preview(result)
+        return plan
 
     # -- internal -----------------------------------------------------------
 
@@ -117,3 +449,19 @@ class QueryEngine:
             return self._label_to_index[label]
         except KeyError:
             raise ValueError(f"unknown object label {label!r}") from None
+
+
+def _preview(result: object, limit: int = 8) -> str:
+    """Short, single-line preview of a query result for EXPLAIN output."""
+    if isinstance(result, bool):
+        return str(result)
+    if isinstance(result, dict):
+        items = list(result)[:limit]
+        more = "" if len(result) <= limit else f", ... +{len(result) - limit}"
+        return "{" + ", ".join(str(i) for i in items) + more + "}"
+    if isinstance(result, (list, tuple)):
+        items = [str(i) for i in list(result)[:limit]]
+        more = "" if len(result) <= limit else f", ... +{len(result) - limit}"
+        return "[" + ", ".join(items) + more + "]"
+    text = str(result)
+    return text if len(text) <= 120 else text[:117] + "..."

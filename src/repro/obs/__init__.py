@@ -8,10 +8,16 @@ The measurement substrate for the whole library (see docs/OBSERVABILITY.md):
   fixed-bucket histograms (latency percentiles);
 * :mod:`repro.obs.export` -- console tree, NDJSON, and Chrome
   ``trace_event`` renderings of a finished trace;
-* :mod:`repro.obs.profile` -- opt-in cProfile/tracemalloc attached to spans.
+* :mod:`repro.obs.profile` -- opt-in cProfile/tracemalloc attached to spans;
+* :mod:`repro.obs.logging` -- structured JSON log records correlated with
+  span ids, with a process-wide configuration entry point;
+* :mod:`repro.obs.promexport` -- Prometheus text exposition of the metrics
+  registry plus a stdlib ``/metrics`` + ``/healthz`` HTTP endpoint;
+* :mod:`repro.obs.slowlog` -- bounded worst-N slow-query capture with
+  explain plans.
 
 The CLI exposes all of it through global ``--trace[=FILE]``, ``--metrics``,
-and ``--profile`` flags.
+``--profile``, ``--log-json[=LEVEL]``, and ``--slowlog[=N]`` flags.
 """
 
 from .export import (
@@ -30,7 +36,28 @@ from .metrics import (
     registry,
     reset_metrics,
 )
+from .logging import (
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+    logging_config,
+    reset_logging,
+)
 from .profile import Hotspot, ProfileReport, profiled
+from .promexport import (
+    MetricsServer,
+    prometheus_name,
+    render_prometheus,
+    start_metrics_server,
+)
+from .slowlog import (
+    SlowQuery,
+    SlowQueryLog,
+    configure_slow_query_log,
+    reset_slow_queries,
+    slow_query_log,
+)
 from .tracing import (
     NULL_SPAN,
     Span,
@@ -74,4 +101,22 @@ __all__ = [
     "profiled",
     "ProfileReport",
     "Hotspot",
+    # logging
+    "JsonFormatter",
+    "configure_logging",
+    "logging_config",
+    "reset_logging",
+    "get_logger",
+    "log_event",
+    # prometheus export
+    "prometheus_name",
+    "render_prometheus",
+    "MetricsServer",
+    "start_metrics_server",
+    # slow-query log
+    "SlowQuery",
+    "SlowQueryLog",
+    "slow_query_log",
+    "configure_slow_query_log",
+    "reset_slow_queries",
 ]

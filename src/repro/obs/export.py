@@ -27,6 +27,7 @@ __all__ = [
     "spans_from_ndjson",
     "spans_to_chrome_trace",
     "write_trace",
+    "TRACE_SUFFIXES",
 ]
 
 
@@ -34,9 +35,25 @@ def _as_list(spans: Span | list[Span]) -> list[Span]:
     return [spans] if isinstance(spans, Span) else list(spans)
 
 
+#: Longest attribute/counter value rendered in the console tree; anything
+#: longer is truncated with an ellipsis so one span stays one line.
+_DETAIL_VALUE_LIMIT = 48
+
+
+def _clip(value: object) -> str:
+    """Render one detail value on a single line, escaped and truncated."""
+    text = str(value)
+    # Escape control characters (newlines, tabs, ...) so a multi-line
+    # attribute cannot break the one-line-per-span console format.
+    text = text.encode("unicode_escape").decode("ascii")
+    if len(text) > _DETAIL_VALUE_LIMIT:
+        text = text[: _DETAIL_VALUE_LIMIT - 1] + "…"
+    return text
+
+
 def _details(span: Span) -> str:
-    parts = [f"{k}={v}" for k, v in span.counters.items()]
-    parts += [f"{k}={v}" for k, v in span.attributes.items()]
+    parts = [f"{k}={_clip(v)}" for k, v in span.counters.items()]
+    parts += [f"{k}={_clip(v)}" for k, v in span.attributes.items()]
     return f"  [{', '.join(parts)}]" if parts else ""
 
 
@@ -151,16 +168,33 @@ def spans_to_chrome_trace(spans: Span | list[Span]) -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
+#: File suffixes :func:`write_trace` understands, with their formats.
+TRACE_SUFFIXES = {
+    ".json": "chrome",
+    ".ndjson": "ndjson",
+    ".jsonl": "ndjson",
+}
+
+
 def write_trace(path: str | Path, spans: Span | list[Span]) -> Path:
     """Write a trace file; format chosen by suffix.
 
-    ``.ndjson`` / ``.jsonl`` write NDJSON lines, anything else the Chrome
-    ``trace_event`` JSON.  Parent directories are created as needed.
+    ``.ndjson`` / ``.jsonl`` write NDJSON lines, ``.json`` the Chrome
+    ``trace_event`` JSON.  Any other suffix raises :class:`ValueError`
+    naming the supported ones (a silently mis-formatted trace file is
+    worse than an error).  Parent directories are created as needed.
     """
     path = Path(path)
+    fmt = TRACE_SUFFIXES.get(path.suffix)
+    if fmt is None:
+        supported = ", ".join(sorted(TRACE_SUFFIXES))
+        raise ValueError(
+            f"unsupported trace file suffix {path.suffix!r} for {path}; "
+            f"supported suffixes: {supported}"
+        )
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
-    if path.suffix in (".ndjson", ".jsonl"):
+    if fmt == "ndjson":
         path.write_text(spans_to_ndjson(spans))
     else:
         path.write_text(json.dumps(spans_to_chrome_trace(spans), indent=1) + "\n")

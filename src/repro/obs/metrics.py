@@ -219,6 +219,18 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram(name, bounds)
         return h
 
+    def counters(self) -> dict[str, Counter]:
+        """Name-sorted view of every counter (exporters iterate this)."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, Gauge]:
+        """Name-sorted view of every gauge."""
+        return dict(sorted(self._gauges.items()))
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Name-sorted view of every histogram."""
+        return dict(sorted(self._histograms.items()))
+
     def snapshot(self) -> dict[str, object]:
         """All current values as a JSON-friendly dict."""
         return {

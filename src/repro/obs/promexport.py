@@ -1,0 +1,215 @@
+"""Prometheus text exposition of the metrics registry, plus a tiny server.
+
+Two pieces:
+
+* :func:`render_prometheus` -- serialise a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (version 0.0.4): counters as ``<name>_total``, gauges
+  verbatim, histograms as cumulative ``_bucket{le="..."}`` series with
+  ``_sum`` and ``_count``.  Metric names are prefixed ``repro_`` and
+  sanitised (dots become underscores) so the output scrapes cleanly.
+* :func:`start_metrics_server` -- a stdlib :mod:`http.server` endpoint
+  serving ``/metrics`` (the rendering above) and ``/healthz`` (a JSON
+  liveness document) from a daemon thread.  No third-party dependency;
+  good enough for a sidecar scrape or a CI health check, not a hardened
+  public listener.
+
+``examples/subspace_query_service.py`` mounts the endpoint next to its
+query loop; the CI bench-smoke job scrapes it once and archives the result.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .metrics import Histogram, MetricsRegistry, registry
+
+__all__ = [
+    "prometheus_name",
+    "render_prometheus",
+    "MetricsServer",
+    "start_metrics_server",
+]
+
+#: Prefix applied to every exported metric name.
+_PREFIX = "repro_"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """Sanitise a registry metric name for Prometheus exposition.
+
+    Dots (the registry's namespace separator) and any other invalid
+    character become underscores; the ``repro_`` prefix namespaces the
+    whole library.  ``prometheus_name("query.q1.seconds")`` is
+    ``"repro_query_q1_seconds"``.
+    """
+    base = _INVALID.sub("_", name)
+    if not re.match(r"[a-zA-Z_:]", base):
+        base = "_" + base
+    return f"{_PREFIX}{base}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-flavoured float rendering (``+Inf``/``-Inf``/``NaN``)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_histogram(name: str, hist: Histogram, lines: list[str]) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum {_format_value(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+
+
+def render_prometheus(reg: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Deterministic: metrics are emitted name-sorted within each kind
+    (counters, then gauges, then histograms), so consecutive scrapes of an
+    idle process are byte-identical.
+    """
+    reg = reg if reg is not None else registry()
+    lines: list[str] = []
+    for raw, counter in reg.counters().items():
+        name = prometheus_name(raw, "_total")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(counter.value)}")
+    for raw, gauge in reg.gauges().items():
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(gauge.value)}")
+    for raw, hist in reg.histograms().items():
+        _render_histogram(prometheus_name(raw), hist, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """GET-only handler for ``/metrics`` and ``/healthz``."""
+
+    # Injected by start_metrics_server via type(); silence the defaults.
+    registry_fn: Callable[[], MetricsRegistry]
+    health_fn: Callable[[], dict]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.registry_fn()).encode()
+            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+        elif path == "/healthz":
+            body = (json.dumps(self.health_fn()) + "\n").encode()
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Route access logs through the structured logger, not stderr."""
+        from .logging import get_logger
+
+        get_logger("obs.http").debug(format % args)
+
+
+class MetricsServer:
+    """A running ``/metrics`` + ``/healthz`` endpoint on a daemon thread.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread):
+        self._server = server
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (append ``/metrics`` or ``/healthz``)."""
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    reg: MetricsRegistry | None = None,
+    health: Callable[[], dict] | None = None,
+) -> MetricsServer:
+    """Serve ``/metrics`` and ``/healthz`` in the background; returns a handle.
+
+    Parameters
+    ----------
+    port:
+        TCP port; 0 picks an ephemeral one (read it back via ``.port``).
+    host:
+        Bind address; loopback by default -- pass ``"0.0.0.0"`` only when
+        the endpoint should be reachable from other hosts.
+    reg:
+        Registry to expose; the process-global one when omitted.
+    health:
+        Callable returning the ``/healthz`` JSON document; defaults to
+        ``{"status": "ok"}``.
+    """
+    fixed_reg = reg
+
+    def registry_fn() -> MetricsRegistry:
+        return fixed_reg if fixed_reg is not None else registry()
+
+    handler = type(
+        "BoundMetricsHandler",
+        (_Handler,),
+        {
+            "registry_fn": staticmethod(registry_fn),
+            "health_fn": staticmethod(health or (lambda: {"status": "ok"})),
+        },
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics", daemon=True
+    )
+    thread.start()
+    return MetricsServer(server, thread)

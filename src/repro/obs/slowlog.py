@@ -1,0 +1,161 @@
+"""Slow-query log: retain the N worst queries with their explain plans.
+
+A bounded, always-on capture of the most expensive queries the process has
+served.  The :class:`SlowQueryLog` keeps the ``capacity`` worst entries by
+duration (a min-heap of the retained set, so recording is O(log N) and a
+fast query that does not beat the current floor costs one comparison), each
+entry carrying the query kind, its argument, the wall-clock duration, the
+correlation ``span_id``, and the resolution plan the query engine produced
+-- everything needed to replay or explain the outlier after the fact.
+
+The process-global instance (:func:`slow_query_log`) is fed by
+:class:`repro.cube.query.QueryEngine`, dumped by the CLI ``--slowlog``
+flag, and printed by ``examples/subspace_query_service.py`` on shutdown.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SlowQuery",
+    "SlowQueryLog",
+    "slow_query_log",
+    "configure_slow_query_log",
+    "reset_slow_queries",
+]
+
+#: Default number of worst queries retained.
+DEFAULT_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One retained query: what ran, how long it took, and its plan."""
+
+    kind: str
+    argument: str
+    seconds: float
+    span_id: int = 0
+    when: float = field(default_factory=time.time)
+    plan: dict | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (what the service dump writes)."""
+        return {
+            "kind": self.kind,
+            "argument": self.argument,
+            "seconds": self.seconds,
+            "span_id": self.span_id,
+            "when": self.when,
+            "plan": self.plan,
+        }
+
+
+class SlowQueryLog:
+    """Bounded worst-N-by-duration retention of served queries."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, threshold: float = 0.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.capacity = capacity
+        #: Minimum duration (seconds) a query needs to be considered at all.
+        self.threshold = threshold
+        #: Total queries offered to :meth:`record` (retained or not).
+        self.seen = 0
+        # Min-heap of (seconds, sequence, entry): the root is the cheapest
+        # retained query, i.e. the one a slower newcomer evicts.
+        self._heap: list[tuple[float, int, SlowQuery]] = []
+        self._seq = 0
+
+    def record(self, entry: SlowQuery) -> bool:
+        """Offer one query; returns True when it was retained."""
+        self.seen += 1
+        if entry.seconds < self.threshold:
+            return False
+        self._seq += 1
+        item = (entry.seconds, self._seq, entry)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, item)
+            return True
+        if entry.seconds <= self._heap[0][0]:
+            return False
+        heapq.heapreplace(self._heap, item)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def entries(self) -> list[SlowQuery]:
+        """Retained queries, worst (slowest) first."""
+        return [
+            item[2]
+            for item in sorted(self._heap, key=lambda it: (-it[0], it[1]))
+        ]
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-friendly dump, worst first."""
+        return [entry.to_dict() for entry in self.entries()]
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable report (the CLI ``--slowlog`` output)."""
+        entries = self.entries()
+        if limit is not None:
+            entries = entries[:limit]
+        if not entries:
+            return "(no queries recorded)"
+        lines = [
+            f"slow-query log: {len(entries)} of {self.seen} queries "
+            f"(capacity {self.capacity})"
+        ]
+        for i, e in enumerate(entries, 1):
+            lines.append(
+                f"{i:3d}. {e.seconds * 1e3:9.3f} ms  {e.kind}"
+                f"({e.argument})  span_id={e.span_id}"
+            )
+            if e.plan:
+                strategy = e.plan.get("strategy", "?")
+                counters = e.plan.get("counters", {})
+                detail = ", ".join(f"{k}={v}" for k, v in counters.items())
+                lines.append(f"      plan: {strategy}  [{detail}]")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Drop every retained entry and zero the seen count."""
+        self._heap = []
+        self._seq = 0
+        self.seen = 0
+
+
+#: The process-global slow-query log fed by the query engine.
+_SLOW_LOG = SlowQueryLog()
+
+
+def slow_query_log() -> SlowQueryLog:
+    """The process-global slow-query log."""
+    return _SLOW_LOG
+
+
+def configure_slow_query_log(
+    capacity: int | None = None, threshold: float | None = None
+) -> SlowQueryLog:
+    """Re-create the global log with a new capacity and/or threshold.
+
+    Previously retained entries are dropped (the retention invariant of
+    the old capacity does not transfer).  Returns the new instance.
+    """
+    global _SLOW_LOG
+    _SLOW_LOG = SlowQueryLog(
+        capacity=capacity if capacity is not None else _SLOW_LOG.capacity,
+        threshold=threshold if threshold is not None else _SLOW_LOG.threshold,
+    )
+    return _SLOW_LOG
+
+
+def reset_slow_queries() -> None:
+    """Clear the global log in place (tests, repeated CLI invocations)."""
+    _SLOW_LOG.clear()

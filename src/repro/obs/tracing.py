@@ -30,6 +30,7 @@ import functools
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Iterator
 
 __all__ = [
@@ -46,9 +47,24 @@ __all__ = [
 ]
 
 
+#: Monotonically increasing span-id source (process-local, never reused).
+_SPAN_IDS = count(1)
+
+
+def _next_span_id() -> int:
+    return next(_SPAN_IDS)
+
+
 @dataclass
 class Span:
-    """One timed region: name, monotonic interval, attributes, children."""
+    """One timed region: name, monotonic interval, attributes, children.
+
+    ``span_id`` is a process-unique correlation id: structured log records
+    (:mod:`repro.obs.logging`) and slow-query entries
+    (:mod:`repro.obs.slowlog`) carry it so they can be joined back to the
+    trace.  It is excluded from equality so exporter round-trips (which
+    allocate fresh ids on load) still compare equal field-for-field.
+    """
 
     name: str
     start_ns: int = 0
@@ -56,6 +72,7 @@ class Span:
     attributes: dict[str, object] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    span_id: int = field(default_factory=_next_span_id, compare=False)
 
     @property
     def duration_ns(self) -> int:
@@ -144,6 +161,10 @@ class _NullSpan:
     @property
     def counters(self) -> dict[str, float]:
         return {}
+
+    @property
+    def span_id(self) -> int:
+        return 0
 
 
 #: The singleton no-op span (identity-comparable in tests).

@@ -265,11 +265,20 @@ _SHARED: object = None
 _IN_WORKER_PROCESS = False
 
 
-def _init_worker(shared: object) -> None:
-    """Process-pool initializer: install the shared payload once per worker."""
+def _init_worker(shared: object, log_config: dict | None = None) -> None:
+    """Process-pool initializer: install the shared payload once per worker.
+
+    Also re-applies the parent's structured-logging configuration so worker
+    log records carry the same JSON shape (spawned workers start from a
+    clean interpreter and would otherwise log unconfigured).
+    """
     global _SHARED, _IN_WORKER_PROCESS
     _SHARED = shared
     _IN_WORKER_PROCESS = True
+    if log_config is not None:
+        from ..obs.logging import configure_logging
+
+        configure_logging(**log_config)
 
 
 def get_shared() -> object:
@@ -310,12 +319,14 @@ def _shared_inline(shared: object):
 def _make_executor(kind: str, workers: int, shared: object) -> Executor:
     if kind == "thread":
         return ThreadPoolExecutor(max_workers=workers)
+    from ..obs.logging import logging_config
+
     method = "fork" if _fork_available() else "spawn"
     return ProcessPoolExecutor(
         max_workers=workers,
         mp_context=multiprocessing.get_context(method),
         initializer=_init_worker,
-        initargs=(shared,),
+        initargs=(shared, logging_config()),
     )
 
 

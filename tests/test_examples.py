@@ -68,3 +68,23 @@ def test_subspace_query_service():
     assert "wins in" in out
     assert "unknown command" in out
     assert "[online] bye" in out
+
+
+def test_subspace_query_service_explain_and_slowlog():
+    script = "explain skyline price,stops\nexplain wins-in DIRECT stops\nquit\n"
+    out = run_example("subspace_query_service.py", stdin=script)
+    assert "EXPLAIN q1.skyline(price,stops)" in out
+    assert "strategy:              decisive-scan" in out
+    assert "EXPLAIN q2.wins_in(DIRECT in stops)" in out
+    assert "slow-query log:" in out
+
+
+def test_subspace_query_service_selfcheck(tmp_path):
+    scrape = tmp_path / "scrape.txt"
+    out = run_example(
+        "subspace_query_service.py", "--selfcheck", "--scrape-out", str(scrape)
+    )
+    assert "[selfcheck] ok" in out
+    body = scrape.read_text()
+    assert "# TYPE repro_query_q1_seconds histogram" in body
+    assert "repro_query_q2_count_total" in body
