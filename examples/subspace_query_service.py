@@ -4,8 +4,9 @@ Demonstrates the intended production split: an offline job computes the
 compressed cube once (Stellar) and persists it; an online service loads
 the cube and answers the paper's three query families with microsecond
 latency and **zero** skyline computation -- fully observed: structured
-JSON logs, a Prometheus ``/metrics`` + ``/healthz`` endpoint, and a
-slow-query log dumped on shutdown.
+JSON logs, a Prometheus ``/metrics`` + ``/healthz`` endpoint (with live
+RSS/CPU vitals from a heartbeat thread), a slow-query log dumped on
+shutdown, and a flight recorder dumped on crash or ``SIGUSR1``.
 
 Commands (one per line on stdin):
 
@@ -33,9 +34,13 @@ from repro.cube import CompressedSkylineCube, QueryEngine, load_cube, save_cube
 from repro.obs import (
     configure_logging,
     configure_slow_query_log,
+    enable_flight,
     get_logger,
+    install_crash_hooks,
     slow_query_log,
+    start_heartbeat,
     start_metrics_server,
+    stop_heartbeat,
 )
 
 
@@ -108,6 +113,8 @@ def selfcheck(engine: QueryEngine, scrape_out: str | None) -> int:
     engine.skyline("price,stops")
     engine.where_wins("TK-YVR")
     engine.top_frequent(3)
+    heartbeat = start_heartbeat(interval=0.5)
+    heartbeat.sample()  # at least one vitals sample before the scrape
     with start_metrics_server() as server:
         with urlopen(f"{server.url}/healthz", timeout=5) as response:
             if response.status != 200:
@@ -117,6 +124,12 @@ def selfcheck(engine: QueryEngine, scrape_out: str | None) -> int:
             body = response.read().decode("utf-8")
             if response.status != 200 or "repro_query" not in body:
                 print("[selfcheck] /metrics scrape failed", file=sys.stderr)
+                return 1
+            if "repro_process_rss_bytes" not in body:
+                print(
+                    "[selfcheck] /metrics scrape lacks heartbeat vitals",
+                    file=sys.stderr,
+                )
                 return 1
     if scrape_out:
         Path(scrape_out).write_text(body)
@@ -155,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.log_json is not None:
         configure_logging(args.log_json)
     configure_slow_query_log(capacity=args.slowlog)
+    # Black-box telemetry: a bounded in-memory ring, dumped only on an
+    # unhandled exception or SIGUSR1 -- a healthy service writes nothing.
+    enable_flight()
+    install_crash_hooks()
     log = get_logger("examples.service")
 
     engine = build_engine()
@@ -165,11 +182,16 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     if args.selfcheck:
-        return selfcheck(engine, args.scrape_out)
+        try:
+            return selfcheck(engine, args.scrape_out)
+        finally:
+            stop_heartbeat()
 
     server = None
     if args.port is not None:
         server = start_metrics_server(port=args.port)
+        # Scrapes of a live service should show vitals, not just queries.
+        start_heartbeat()
         print(f"[online] metrics at {server.url}/metrics "
               f"(health: {server.url}/healthz)")
     print(f"[online] serving {dataset.n_objects} routes, "
@@ -178,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         serve(engine)
     finally:
+        stop_heartbeat()
         if server is not None:
             server.close()
         slowlog = slow_query_log()

@@ -48,6 +48,7 @@ import numpy as np
 from ..core.bitset import iter_bits, minimal_masks
 from ..core.types import Dataset, SkylineGroup, group_sort_key
 from ..core.validate import common_coincidence_mask
+from ..obs.progress import ProgressTask, tick
 from ..obs.tracing import Span, SpanBackedTimings, Tracer, current_tracer
 from ..parallel import get_shared, map_shards, resolve_parallel
 from ..skyline.numpy_skyline import chunked_sorted_skyline
@@ -141,6 +142,7 @@ def _visit(
         sums = proj.sum(axis=1)
     skyline = subspace_skyline_sorted(proj, sums)
     _record_node(subspace, skyline, lambda i: proj[i], recorded, sizes)
+    tick()
 
     for d in range(max_removable):
         if not subspace & (1 << d):
@@ -192,6 +194,7 @@ def _visit_pruned(
     _record_node(
         subspace, skyline, lambda i: minimized[i, cols], recorded, sizes
     )
+    tick()
 
     skyline_arr = np.asarray(skyline)
     for d in range(max_removable):
@@ -291,7 +294,9 @@ def skyey(
         candidate_pruning=candidate_pruning,
         parallel=config.describe(),
     ) as root:
-        with tracer.span("subspace_search") as sp:
+        with tracer.span("subspace_search") as sp, ProgressTask(
+            "subspace_search", total=full
+        ):
             if workers > 1 and n_dims >= 2:
                 _search_parallel(
                     minimized,
@@ -397,6 +402,9 @@ def _search_parallel(
         config=config,
         workers=workers,
         shared=shared,
+        # Workers cannot tick the parent's task; advance by the number of
+        # subspaces each completed subtree visited.
+        progress=lambda _d, shard: tick(len(shard[1])),
     )
     for shard_recorded, shard_sizes in shards:
         for members, subspaces in shard_recorded.items():

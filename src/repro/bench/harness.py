@@ -8,6 +8,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..obs.export import write_trace
+from ..obs.flight import record as flight_record
+from ..obs.progress import tick
 from ..obs.tracing import current_tracer, span
 
 __all__ = [
@@ -133,11 +135,14 @@ class BudgetedRunner:
     def run(self, x: float, algorithm: str, fn: Callable) -> BenchPoint:
         """Measure one sweep point, or skip it once the budget is blown."""
         if self._blown:
+            tick()
             return BenchPoint(x=x, algorithm=algorithm, seconds=None)
+        flight_record("bench.point", algorithm=algorithm, x=x)
         with span("bench.point", algorithm=algorithm, x=x):
             result, seconds = time_call(fn)
         if seconds > self.budget:
             self._blown = True
+        tick()
         return BenchPoint(x=x, algorithm=algorithm, seconds=seconds, result=result)
 
 

@@ -21,8 +21,14 @@ from __future__ import annotations
 import json
 import platform
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 from ..core.dominance import COMPARISONS
 from ..parallel import default_workers
@@ -112,20 +118,47 @@ def load_entries(path: str | Path) -> list[LedgerEntry]:
     return [LedgerEntry.from_dict(e) for e in payload.get("entries", [])]
 
 
+@contextmanager
+def _exclusive_lock(path: Path):
+    """Hold an exclusive advisory lock for one ledger read-modify-write.
+
+    The lock lives on a sidecar ``<ledger>.lock`` file, not the ledger
+    itself: the append rewrites the ledger with ``write_text``, and locking
+    a file that is about to be replaced would leave the second writer
+    holding a lock on a dead inode.  Best-effort -- on platforms without
+    :mod:`fcntl` the append is unguarded, exactly as before.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX hosts
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    with open(lock_path, "a") as lock_file:
+        fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
+
 def append_entry(path: str | Path, entry: LedgerEntry) -> int:
     """Append one entry to the ledger at ``path``; returns its index.
 
-    Creates the file (and parent directories) on first use.
+    Creates the file (and parent directories) on first use.  The
+    read-modify-write cycle holds an exclusive file lock, so concurrent
+    benchmark processes appending to one ledger serialize instead of
+    losing entries.
     """
     path = Path(path)
-    entries = load_entries(path)
-    entries.append(entry)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "format": LEDGER_FORMAT,
-        "entries": [e.to_dict() for e in entries],
-    }
-    path.write_text(json.dumps(payload, indent=1) + "\n")
+    with _exclusive_lock(path):
+        entries = load_entries(path)
+        entries.append(entry)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": LEDGER_FORMAT,
+            "entries": [e.to_dict() for e in entries],
+        }
+        path.write_text(json.dumps(payload, indent=1) + "\n")
     return len(entries) - 1
 
 

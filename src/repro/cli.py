@@ -23,11 +23,19 @@ Subcommands
     run appends a normalized entry to the ``BENCH_<figure>.json`` ledger,
     and ``bench diff`` compares two ledger entries (non-zero exit on
     regression).
+``flight``
+    Flight-recorder utilities: ``flight dump`` writes the current ring as
+    NDJSON, ``flight show FILE`` summarizes a previously written dump.
 
 Every subcommand additionally accepts the observability flags
 ``--trace[=FILE]``, ``--metrics``, ``--profile``, ``--log-json[=LEVEL]``,
-and ``--slowlog[=N]`` (see docs/OBSERVABILITY.md) and the execution flag
-``--parallel[=SPEC]`` (see docs/PARALLEL.md).
+``--slowlog[=N]``, ``--flight[=N]``, and ``--progress[=MODE]`` (see
+docs/OBSERVABILITY.md) and the execution flag ``--parallel[=SPEC]``
+(see docs/PARALLEL.md).
+
+The flight recorder is always on (ring buffer only; dumped on crash or
+``SIGUSR1``), and a resource heartbeat samples RSS/CPU once per second;
+set ``REPRO_HEARTBEAT`` to a number of seconds or ``off`` to tune it.
 """
 
 from __future__ import annotations
@@ -51,6 +59,11 @@ observability (accepted by every subcommand; see docs/OBSERVABILITY.md):
                    info)
   --slowlog[=N]    capture the N slowest queries (default 10) and print
                    them, with their explain plans, on exit
+  --flight[=N]     size the flight-recorder ring to N events (default 4096;
+                   off/0 disables) and dump it on exit as well as on
+                   crash/SIGUSR1; the ring itself is always on
+  --progress[=MODE]  live progress on stderr; MODE is tty | json | off |
+                   auto (default auto: tty when stderr is a terminal)
 
 execution (accepted by every subcommand; see docs/PARALLEL.md):
   --parallel[=SPEC]  run the hot paths on a worker pool; SPEC is a worker
@@ -105,6 +118,25 @@ def _obs_parent() -> argparse.ArgumentParser:
         metavar="N",
         help="retain the N slowest queries (default 10) and print them, "
         "with their explain plans, on exit",
+    )
+    group.add_argument(
+        "--flight",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="N",
+        help="size the always-on flight-recorder ring to N events "
+        "(default 4096; off/0 disables) and dump it on exit in addition "
+        "to crash/SIGUSR1 dumps",
+    )
+    group.add_argument(
+        "--progress",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="MODE",
+        help="live progress (phase, items done/total, rate, ETA) on "
+        "stderr; MODE is tty | json | off | auto (default auto)",
     )
     execution = parent.add_argument_group("execution")
     execution.add_argument(
@@ -295,6 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag metrics that grew by more than FRAC (default 0.25 = +25%%)",
     )
 
+    p_flight = sub.add_parser(
+        "flight", help="flight-recorder utilities", parents=[obs]
+    )
+    p_flight.add_argument(
+        "action", choices=["dump", "show"], help="dump the live ring | "
+        "summarize a previously written NDJSON dump"
+    )
+    p_flight.add_argument(
+        "file", nargs="?", default=None, help="dump file (required for show)"
+    )
+    p_flight.add_argument(
+        "--out", default=None, metavar="FILE", help="dump destination "
+        "(default flight-<pid>.ndjson under $REPRO_FLIGHT_DIR or the cwd)"
+    )
+    p_flight.add_argument(
+        "--tail", type=int, default=10, metavar="N",
+        help="events shown by `flight show` (default 10)",
+    )
+
     return parser
 
 
@@ -309,8 +360,119 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
+        "flight": _cmd_flight,
     }[args.command]
-    return _run_observed(handler, args)
+    return _with_telemetry(handler, args)
+
+
+def _with_telemetry(handler, args: argparse.Namespace) -> int:
+    """Run a subcommand under the always-on in-flight telemetry.
+
+    The flight recorder is enabled for every command (a bounded ring; no
+    output unless the process crashes, receives ``SIGUSR1``, or ``--flight``
+    was passed, which also dumps at exit), and a heartbeat thread samples
+    process vitals (interval from ``REPRO_HEARTBEAT``; ``off`` disables).
+    ``--progress`` switches the stderr progress stream on.  An unhandled
+    exception propagates *past* this frame to the interpreter's top level,
+    where the installed excepthook writes the crash dump -- so nothing here
+    may swallow it.
+    """
+    import os
+
+    from .obs.flight import (
+        DEFAULT_CAPACITY,
+        enable_flight,
+        install_crash_hooks,
+    )
+    from .obs.progress import (
+        HEARTBEAT_ENV,
+        configure_progress,
+        start_heartbeat,
+        stop_heartbeat,
+    )
+
+    capacity = DEFAULT_CAPACITY
+    flight_spec: str | None = getattr(args, "flight", None)
+    explicit = flight_spec is not None
+    flight_on = True
+    if explicit and flight_spec.strip():
+        text = flight_spec.strip().lower()
+        if text == "off":
+            flight_on = False
+        else:
+            try:
+                capacity = int(text)
+            except ValueError:
+                print(
+                    f"error: --flight expects an event count or 'off', "
+                    f"got {flight_spec!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            if capacity == 0:
+                flight_on = False
+            elif capacity < 0:
+                print(
+                    f"error: --flight capacity must be >= 0, got {capacity}",
+                    file=sys.stderr,
+                )
+                return 2
+    if flight_on:
+        enable_flight(capacity)
+        install_crash_hooks(dump_at_exit=explicit)
+
+    progress_spec: str | None = getattr(args, "progress", None)
+    if progress_spec is not None:
+        try:
+            configure_progress(progress_spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    heartbeat_spec = os.environ.get(HEARTBEAT_ENV, "").strip().lower()
+    interval = 1.0
+    heartbeat_on = heartbeat_spec != "off"
+    if heartbeat_on and heartbeat_spec:
+        try:
+            interval = float(heartbeat_spec)
+        except ValueError:
+            print(
+                f"warning: ignoring invalid {HEARTBEAT_ENV}={heartbeat_spec!r}"
+                " (expected seconds or 'off')",
+                file=sys.stderr,
+            )
+        if interval <= 0:
+            heartbeat_on = False
+    if heartbeat_on:
+        start_heartbeat(interval)
+
+    try:
+        return _run_observed(handler, args)
+    finally:
+        stop_heartbeat()
+        if progress_spec is not None:
+            configure_progress("off")
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    from .obs.flight import dump_flight, summarize_flight_dump
+
+    if args.action == "show":
+        if not args.file:
+            print("error: flight show requires a dump file", file=sys.stderr)
+            return 2
+        try:
+            print(summarize_flight_dump(args.file, tail=args.tail))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    written = dump_flight(args.out, reason="manual")
+    if written is None:
+        print("error: flight recorder is disabled", file=sys.stderr)
+        return 2
+    print(f"flight record written to {written}")
+    return 0
 
 
 def _run_observed(handler, args: argparse.Namespace) -> int:
@@ -601,13 +763,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import FIGURES, emit_trace, run_figure
     from .bench.ledger import append_entry, entry_from_result, ledger_path
     from .core.dominance import COMPARISONS
+    from .obs.progress import ProgressTask
     from .parallel import active_parallel
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     config = active_parallel()
     for name in names:
         comparisons_before = COMPARISONS.value
-        result = run_figure(name, scale=args.scale)
+        # Points tick the ambient task as they finish (BudgetedRunner.run);
+        # totals are unknown up front, so the task reports rate only.
+        with ProgressTask(f"bench.{name}"):
+            result = run_figure(name, scale=args.scale)
         print(result.to_text())
         print()
         if not args.no_ledger:

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.progress import ProgressTask, tick
 from ..parallel import chunk_ranges, get_shared, map_shards, resolve_parallel
 from .bitset import is_subset
 from .dominance import PairwiseMatrices
@@ -182,14 +183,17 @@ def _batched_share_maps(
     workers = config.plan(m * n_groups, floor=_PARALLEL_FLOOR)
     if workers <= 1 or m < 2 * workers:
         return _share_maps_block(reps, subspaces, ns_matrix, ns_ids, pow2)
-    shards = map_shards(
-        "extension.share_maps",
-        _share_map_shard,
-        chunk_ranges(m, workers),
-        config=config,
-        workers=workers,
-        shared=(reps, subspaces, ns_matrix, ns_ids, pow2),
-    )
+    ranges = chunk_ranges(m, workers)
+    with ProgressTask("nonseed_extension.share_maps", total=m):
+        shards = map_shards(
+            "extension.share_maps",
+            _share_map_shard,
+            ranges,
+            config=config,
+            workers=workers,
+            shared=(reps, subspaces, ns_matrix, ns_ids, pow2),
+            progress=lambda i, _r: tick(ranges[i][1] - ranges[i][0]),
+        )
     share_maps = shards[0]
     for partial in shards[1:]:
         for gi in range(n_groups):
@@ -230,6 +234,7 @@ def extend_with_nonseeds(
     for seed_group, rep_global, shares in zip(
         seed_groups, rep_globals, share_maps
     ):
+        tick()
         rep_local = seed_group.representative
         subspace = seed_group.subspace
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.progress import tick
 from ..parallel import chunk_ranges, get_shared, map_shards, resolve_parallel
 from .bitset import bit, iter_bits
 from .dominance import COMPARISONS, PairwiseMatrices
@@ -102,12 +103,14 @@ def compute_seed_groups(
     if workers > 1 and len(cgroups) > 1:
         verdicts = _parallel_clause_verdicts(matrices, cgroups, config, workers)
     else:
-        verdicts = [
-            _clause_verdict(
-                matrices.dom_row_array(members[0]), members, subspace, k
+        verdicts = []
+        for members, subspace in cgroups:
+            verdicts.append(
+                _clause_verdict(
+                    matrices.dom_row_array(members[0]), members, subspace, k
+                )
             )
-            for members, subspace in cgroups
-        ]
+            tick()
     groups: list[SeedGroup] = []
     for (local_members, subspace), (keep, decisive) in zip(cgroups, verdicts):
         if not keep:
@@ -181,6 +184,8 @@ def _parallel_clause_verdicts(
     Workers re-derive dominance rows from the seed submatrix instead of
     shipping the parent's row cache; shard outputs concatenate in shard
     order, so the verdict list is element-for-element the serial one.
+    Progress ticks fire in the parent as each shard completes (workers
+    cannot reach the ambient progress task).
     """
     shards = map_shards(
         "seeds.clauses",
@@ -189,5 +194,6 @@ def _parallel_clause_verdicts(
         config=config,
         workers=workers,
         shared=(matrices.sub_matrix, matrices.pack_weights, cgroups),
+        progress=lambda _i, shard: tick(len(shard)),
     )
     return [verdict for shard in shards for verdict in shard]

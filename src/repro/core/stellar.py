@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.progress import ProgressTask
 from ..obs.tracing import Span, SpanBackedTimings, Tracer, current_tracer
 from ..parallel import resolve_parallel, use_parallel
 from ..skyline import compute_skyline
@@ -174,23 +175,30 @@ def _stellar_core(
         return StellarResult(groups=[], seed_groups=[], seeds=[], stats=stats)
 
     with _phase(tracer, "full_space_skyline") as sp:
-        seeds = compute_skyline(dataset, None, algorithm=skyline_algorithm)
+        with ProgressTask(
+            "full_space_skyline", total=dataset.n_objects
+        ) as task:
+            seeds = compute_skyline(dataset, None, algorithm=skyline_algorithm)
+            task.advance(dataset.n_objects)
         sp.count("seeds", len(seeds))
     stats.n_seeds = len(seeds)
 
     with _phase(tracer, "maximal_cgroups") as sp:
-        matrices = PairwiseMatrices(dataset, seeds)
-        cgroups = enumerate_maximal_cgroups(matrices)
+        with ProgressTask("maximal_cgroups"):
+            matrices = PairwiseMatrices(dataset, seeds)
+            cgroups = enumerate_maximal_cgroups(matrices)
         sp.count("maximal_cgroups", len(cgroups))
     stats.n_maximal_cgroups = len(cgroups)
 
     with _phase(tracer, "seed_decisive") as sp:
-        seed_groups = compute_seed_groups(dataset, matrices, cgroups)
+        with ProgressTask("seed_decisive", total=len(cgroups)):
+            seed_groups = compute_seed_groups(dataset, matrices, cgroups)
         sp.count("seed_groups", len(seed_groups))
     stats.n_seed_groups = len(seed_groups)
 
     with _phase(tracer, "nonseed_extension") as sp:
-        groups = extend_with_nonseeds(dataset, matrices, seed_groups)
+        with ProgressTask("nonseed_extension", total=len(seed_groups)):
+            groups = extend_with_nonseeds(dataset, matrices, seed_groups)
         sp.count("groups", len(groups))
     stats.n_groups = len(groups)
 

@@ -14,10 +14,15 @@ The measurement substrate for the whole library (see docs/OBSERVABILITY.md):
 * :mod:`repro.obs.promexport` -- Prometheus text exposition of the metrics
   registry plus a stdlib ``/metrics`` + ``/healthz`` HTTP endpoint;
 * :mod:`repro.obs.slowlog` -- bounded worst-N slow-query capture with
-  explain plans.
+  explain plans;
+* :mod:`repro.obs.flight` -- always-on bounded flight recorder dumped as
+  NDJSON on crash, ``SIGUSR1``, or request;
+* :mod:`repro.obs.progress` -- live build progress (rate/ETA) plus a
+  heartbeat thread sampling RSS/CPU into gauges and the flight recorder.
 
 The CLI exposes all of it through global ``--trace[=FILE]``, ``--metrics``,
-``--profile``, ``--log-json[=LEVEL]``, and ``--slowlog[=N]`` flags.
+``--profile``, ``--log-json[=LEVEL]``, ``--slowlog[=N]``, ``--flight[=N]``,
+and ``--progress[=MODE]`` flags.
 """
 
 from .export import (
@@ -27,11 +32,25 @@ from .export import (
     spans_to_ndjson,
     write_trace,
 )
+from .flight import (
+    FlightRecorder,
+    default_flight_path,
+    disable_flight,
+    dump_flight,
+    enable_flight,
+    flight_enabled,
+    flight_recorder,
+    install_crash_hooks,
+    read_flight_dump,
+    summarize_flight_dump,
+    uninstall_crash_hooks,
+)
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
     Gauge,
     Histogram,
+    Info,
     MetricsRegistry,
     registry,
     reset_metrics,
@@ -45,6 +64,19 @@ from .logging import (
     reset_logging,
 )
 from .profile import Hotspot, ProfileReport, profiled
+from .progress import (
+    Heartbeat,
+    ProgressTask,
+    active_heartbeat,
+    configure_progress,
+    cpu_seconds,
+    current_task,
+    progress_mode,
+    rss_bytes,
+    start_heartbeat,
+    stop_heartbeat,
+    tick,
+)
 from .promexport import (
     MetricsServer,
     prometheus_name,
@@ -66,6 +98,8 @@ from .tracing import (
     current_tracer,
     disable_tracing,
     enable_tracing,
+    open_span_depth,
+    set_span_observer,
     span,
     traced,
     tracing_enabled,
@@ -83,10 +117,13 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "SpanBackedTimings",
+    "set_span_observer",
+    "open_span_depth",
     # metrics
     "Counter",
     "Gauge",
     "Histogram",
+    "Info",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "registry",
@@ -119,4 +156,28 @@ __all__ = [
     "slow_query_log",
     "configure_slow_query_log",
     "reset_slow_queries",
+    # flight recorder
+    "FlightRecorder",
+    "enable_flight",
+    "disable_flight",
+    "flight_enabled",
+    "flight_recorder",
+    "dump_flight",
+    "default_flight_path",
+    "install_crash_hooks",
+    "uninstall_crash_hooks",
+    "read_flight_dump",
+    "summarize_flight_dump",
+    # progress + heartbeat
+    "ProgressTask",
+    "configure_progress",
+    "progress_mode",
+    "current_task",
+    "tick",
+    "Heartbeat",
+    "start_heartbeat",
+    "stop_heartbeat",
+    "active_heartbeat",
+    "rss_bytes",
+    "cpu_seconds",
 ]

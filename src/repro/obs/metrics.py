@@ -12,17 +12,26 @@ Instances are cheap plain objects; a process-global default registry is
 reachable via :func:`registry` and is what the query engine and CLI use.
 :func:`reset_metrics` zeroes metrics *in place*, so call sites may cache
 metric handles across resets.
+
+Mutation is thread-safe: the thread backend of :mod:`repro.parallel`
+increments counters from worker threads, the heartbeat thread sets gauges
+concurrently with the build, and the Prometheus endpoint reads the
+registry from HTTP handler threads.  Each metric carries its own lock
+(allocated once at creation, so the hot mutation path allocates nothing),
+and registry-level get-or-create is guarded separately.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Info",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "registry",
@@ -43,41 +52,72 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease by {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
         """Zero the count."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
-    """Last-write-wins instantaneous value."""
+    """Last-write-wins instantaneous value (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def reset(self) -> None:
         """Zero the value."""
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
+
+
+class Info:
+    """A gauge whose value is a short string (phase names, versions).
+
+    Exported to Prometheus as an info-style series:
+    ``repro_build_phase{value="nonseed_extension"} 1``.
+    """
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: str = ""
+        self._lock = threading.Lock()
+
+    def set(self, value: str) -> None:
+        """Record the current string value."""
+        with self._lock:
+            self.value = str(value)
+
+    def reset(self) -> None:
+        """Clear the value."""
+        with self._lock:
+            self.value = ""
 
 
 class Histogram:
@@ -87,7 +127,9 @@ class Histogram:
     implicit overflow bucket catches everything beyond the last bound.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "_min", "_max")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "_min", "_max", "_lock",
+    )
 
     def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
         self.name = name
@@ -99,16 +141,18 @@ class Histogram:
         self.total = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
 
     @property
     def mean(self) -> float:
@@ -169,11 +213,12 @@ class Histogram:
 
     def reset(self) -> None:
         """Drop every sample, keeping the bucket boundaries."""
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-        self._min = math.inf
-        self._max = -math.inf
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0.0
+            self._min = math.inf
+            self._max = -math.inf
 
     def summary(self) -> dict[str, float]:
         """Headline statistics as a plain dict."""
@@ -189,25 +234,38 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics, created on first use and shared thereafter."""
+    """Named metrics, created on first use and shared thereafter.
+
+    Get-or-create is guarded by a registry lock, so two threads asking for
+    the same name always share one metric object; the fast path (metric
+    already exists) is a dict read before the lock is taken.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._infos: dict[str, Info] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
         c = self._counters.get(name)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            with self._lock:
+                c = self._counters.get(name)
+                if c is None:
+                    c = self._counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name``."""
         g = self._gauges.get(name)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            with self._lock:
+                g = self._gauges.get(name)
+                if g is None:
+                    g = self._gauges[name] = Gauge(name)
         return g
 
     def histogram(
@@ -216,8 +274,21 @@ class MetricsRegistry:
         """Get or create the histogram ``name`` (bounds fixed at creation)."""
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = Histogram(name, bounds)
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    h = self._histograms[name] = Histogram(name, bounds)
         return h
+
+    def info(self, name: str) -> Info:
+        """Get or create the string-valued info metric ``name``."""
+        i = self._infos.get(name)
+        if i is None:
+            with self._lock:
+                i = self._infos.get(name)
+                if i is None:
+                    i = self._infos[name] = Info(name)
+        return i
 
     def counters(self) -> dict[str, Counter]:
         """Name-sorted view of every counter (exporters iterate this)."""
@@ -231,11 +302,16 @@ class MetricsRegistry:
         """Name-sorted view of every histogram."""
         return dict(sorted(self._histograms.items()))
 
+    def infos(self) -> dict[str, Info]:
+        """Name-sorted view of every info metric."""
+        return dict(sorted(self._infos.items()))
+
     def snapshot(self) -> dict[str, object]:
         """All current values as a JSON-friendly dict."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "infos": {n: i.value for n, i in sorted(self._infos.items())},
             "histograms": {
                 n: h.summary() for n, h in sorted(self._histograms.items())
             },
@@ -248,6 +324,9 @@ class MetricsRegistry:
             lines.append(f"counter    {name} = {c.value}")
         for name, g in sorted(self._gauges.items()):
             lines.append(f"gauge      {name} = {g.value:g}")
+        for name, i in sorted(self._infos.items()):
+            if i.value:
+                lines.append(f"info       {name} = {i.value}")
         for name, h in sorted(self._histograms.items()):
             if h.count == 0:
                 lines.append(f"histogram  {name}: (no samples)")
@@ -267,6 +346,8 @@ class MetricsRegistry:
             c.reset()
         for g in self._gauges.values():
             g.reset()
+        for i in self._infos.values():
+            i.reset()
         for h in self._histograms.values():
             h.reset()
 

@@ -67,6 +67,11 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_histogram(name: str, hist: Histogram, lines: list[str]) -> None:
     lines.append(f"# TYPE {name} histogram")
     cumulative = 0
@@ -84,8 +89,9 @@ def render_prometheus(reg: MetricsRegistry | None = None) -> str:
     """The registry in Prometheus text exposition format (0.0.4).
 
     Deterministic: metrics are emitted name-sorted within each kind
-    (counters, then gauges, then histograms), so consecutive scrapes of an
-    idle process are byte-identical.
+    (counters, then gauges, then infos, then histograms), so consecutive
+    scrapes of an idle process are byte-identical.  Info metrics render as
+    a gauge with their string in a ``value`` label, set to 1.
     """
     reg = reg if reg is not None else registry()
     lines: list[str] = []
@@ -97,6 +103,12 @@ def render_prometheus(reg: MetricsRegistry | None = None) -> str:
         name = prometheus_name(raw)
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_format_value(gauge.value)}")
+    for raw, info in reg.infos().items():
+        if not info.value:
+            continue
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f'{name}{{value="{_escape_label(info.value)}"}} 1')
     for raw, hist in reg.histograms().items():
         _render_histogram(prometheus_name(raw), hist, lines)
     return "\n".join(lines) + ("\n" if lines else "")

@@ -44,6 +44,8 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "SpanBackedTimings",
+    "set_span_observer",
+    "open_span_depth",
 ]
 
 
@@ -176,6 +178,34 @@ _ACTIVE: ContextVar["Tracer | None"] = ContextVar("repro_obs_tracer", default=No
 #: Process-global tracer installed by :func:`enable_tracing` (CLI ``--trace``).
 _GLOBAL: "Tracer | None" = None
 
+#: Optional callback ``(event, span)`` fired on every span open ("start")
+#: and close ("end").  Installed by the flight recorder
+#: (:mod:`repro.obs.flight`); None keeps span bookkeeping at one extra
+#: global read per open/close.
+_SPAN_OBSERVER = None
+
+#: Number of currently open spans across all tracers in this process.
+#: Maintained with plain integer arithmetic (no lock), so under heavy
+#: threading the value is approximate -- it is a telemetry sample for the
+#: heartbeat, not an invariant.
+_OPEN_SPANS = 0
+
+
+def set_span_observer(observer) -> None:
+    """Install (or with ``None`` remove) the process-wide span observer.
+
+    The observer is called as ``observer("start", span)`` when a span opens
+    and ``observer("end", span)`` when it closes.  It must be fast and must
+    never raise: it runs inside the hot span open/close path.
+    """
+    global _SPAN_OBSERVER
+    _SPAN_OBSERVER = observer
+
+
+def open_span_depth() -> int:
+    """How many spans are currently open in this process (approximate)."""
+    return _OPEN_SPANS
+
 
 class _SpanHandle:
     """Context manager opening one span on a tracer."""
@@ -188,6 +218,7 @@ class _SpanHandle:
         self._attributes = attributes
 
     def __enter__(self) -> Span:
+        global _OPEN_SPANS
         sp = Span(name=self._name, start_ns=time.perf_counter_ns())
         if self._attributes:
             sp.attributes.update(self._attributes)
@@ -200,12 +231,19 @@ class _SpanHandle:
         # While this span is open, ambient span() calls attach to its tracer.
         self._token = _ACTIVE.set(tracer)
         self._span = sp
+        _OPEN_SPANS += 1
+        if _SPAN_OBSERVER is not None:
+            _SPAN_OBSERVER("start", sp)
         return sp
 
     def __exit__(self, *exc: object) -> bool:
+        global _OPEN_SPANS
         self._span.end_ns = time.perf_counter_ns()
         self._tracer._stack.pop()
         _ACTIVE.reset(self._token)
+        _OPEN_SPANS -= 1
+        if _SPAN_OBSERVER is not None:
+            _SPAN_OBSERVER("end", self._span)
         return False
 
 

@@ -41,7 +41,12 @@ import multiprocessing
 import os
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -338,6 +343,7 @@ def map_shards(
     config: ParallelConfig,
     workers: int,
     shared: object = None,
+    progress: Callable[[int, object], None] | None = None,
 ) -> list[object]:
     """Run ``fn`` over ``items`` on the configured backend, preserving order.
 
@@ -360,6 +366,14 @@ def map_shards(
         Read-only payload distributed to workers once per pool (process
         backend: pickled into each worker by the pool initializer; thread
         and serial backends: shared by reference).
+    progress:
+        Optional ``progress(index, result)`` callback fired *in the calling
+        process* as each shard completes, in completion order (serial
+        backend: after each item).  This is how live build progress crosses
+        the pool boundary -- workers cannot tick the parent's progress task,
+        but the parent sees every completion.  The callback must be cheap
+        and must not raise; an exception from it aborts the fan-out like a
+        shard failure.
 
     Crash safety: the first shard exception cancels all not-yet-started
     shards, shuts the pool down, and re-raises in the caller; the backend
@@ -373,7 +387,14 @@ def map_shards(
     workers = min(workers, len(items))
     if kind == "serial" or workers <= 1 or len(items) == 1:
         with _shared_inline(shared):
-            return [fn(item) for item in items]
+            if progress is None:
+                return [fn(item) for item in items]
+            results_inline: list[object] = []
+            for i, item in enumerate(items):
+                result = fn(item)
+                results_inline.append(result)
+                progress(i, result)
+            return results_inline
 
     tracer = current_tracer()
     handle = (
@@ -389,7 +410,7 @@ def map_shards(
     )
     parent_span: Span | None = handle.__enter__() if handle else None
     try:
-        outcomes = _execute(kind, fn, items, workers, shared)
+        outcomes = _execute(kind, fn, items, workers, shared, progress)
     finally:
         if handle is not None:
             handle.__exit__(None, None, None)
@@ -424,21 +445,31 @@ def _execute(
     items: list[object],
     workers: int,
     shared: object,
+    progress: Callable[[int, object], None] | None = None,
 ) -> list[tuple[object, int, int, int]]:
     if kind == "thread":
         with _shared_inline(shared):
             executor = _make_executor(kind, workers, shared)
-            return _drain(executor, fn, items)
+            return _drain(executor, fn, items, progress)
     executor = _make_executor(kind, workers, shared)
-    return _drain(executor, fn, items)
+    return _drain(executor, fn, items, progress)
 
 
 def _drain(
-    executor: Executor, fn: Callable, items: list[object]
+    executor: Executor,
+    fn: Callable,
+    items: list[object],
+    progress: Callable[[int, object], None] | None = None,
 ) -> list[tuple[object, int, int, int]]:
     try:
         futures = [executor.submit(_run_shard, fn, item) for item in items]
         try:
+            if progress is not None:
+                # Fire the callback in completion order, then gather the
+                # (already-resolved) results in submission order below.
+                index_of = {f: i for i, f in enumerate(futures)}
+                for f in as_completed(futures):
+                    progress(index_of[f], f.result()[0])
             return [f.result() for f in futures]
         except BaseException:
             for f in futures:

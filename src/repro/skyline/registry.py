@@ -8,6 +8,7 @@ import numpy as np
 
 from ..core.dominance import COMPARISONS
 from ..core.types import Dataset
+from ..obs.flight import record as flight_record
 from ..obs.tracing import current_tracer
 from ..parallel import (
     PARTITIONABLE_ALGORITHMS,
@@ -93,6 +94,12 @@ def compute_skyline(
             f"unknown skyline algorithm {algorithm!r}; known: auto, {known}"
         ) from None
 
+    flight_record(
+        "skyline.compute",
+        algorithm=name,
+        n_objects=int(matrix.shape[0]),
+        subspace=subspace,
+    )
     config = resolve_parallel(parallel)
     workers = (
         config.plan(matrix.shape[0])

@@ -1,0 +1,672 @@
+"""Flight recorder, live progress, heartbeat, and shutdown behaviour."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from urllib.request import urlopen
+
+import pytest
+
+from repro.bench.ledger import LedgerEntry, append_entry, load_entries
+from repro.core.stellar import stellar
+from repro.data import make_dataset
+from repro.obs import (
+    MetricsRegistry,
+    ProgressTask,
+    configure_progress,
+    current_task,
+    disable_flight,
+    dump_flight,
+    enable_flight,
+    flight_enabled,
+    flight_recorder,
+    install_crash_hooks,
+    read_flight_dump,
+    registry,
+    render_prometheus,
+    reset_metrics,
+    start_heartbeat,
+    start_metrics_server,
+    stop_heartbeat,
+    summarize_flight_dump,
+    tick,
+    uninstall_crash_hooks,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.progress import Heartbeat, cpu_seconds, rss_bytes
+from repro.parallel import ParallelConfig, map_shards
+
+
+@pytest.fixture
+def flight():
+    """An enabled flight recorder, fully torn down afterwards."""
+    recorder = enable_flight()
+    recorder.clear()
+    yield recorder
+    uninstall_crash_hooks()
+    disable_flight()
+
+
+@pytest.fixture
+def clean_telemetry():
+    """Guarantee progress/heartbeat/metrics state is reset after the test."""
+    yield
+    stop_heartbeat()
+    configure_progress("off")
+    reset_metrics()
+
+
+# -- ring buffer ------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=8)
+        for i in range(20):
+            recorder.record("tick", i=i)
+        events = recorder.events()
+        assert len(events) == 8
+        assert recorder.recorded == 20
+        assert recorder.dropped == 12
+        # Oldest events are the ones dropped.
+        assert [e["i"] for e in events] == list(range(12, 20))
+
+    def test_events_carry_timestamp_and_kind(self):
+        recorder = FlightRecorder()
+        recorder.record("custom", payload="x")
+        (event,) = recorder.events()
+        assert event["kind"] == "custom"
+        assert event["payload"] == "x"
+        assert event["ts"] == pytest.approx(time.time(), abs=5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_dump_roundtrip_with_header(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(6):
+            recorder.record("tick", i=i)
+        path = recorder.dump(tmp_path / "flight.ndjson", reason="test")
+        events = read_flight_dump(path)
+        header, body = events[0], events[1:]
+        assert header["kind"] == "flight.header"
+        assert header["reason"] == "test"
+        assert header["pid"] == os.getpid()
+        assert header["recorded"] == 6
+        assert header["retained"] == 4
+        assert header["dropped"] == 2
+        assert [e["i"] for e in body] == [2, 3, 4, 5]
+
+    def test_summarize_names_kinds_and_tail(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("progress", phase="seed_decisive", done=3, total=9)
+        path = recorder.dump(tmp_path / "f.ndjson", reason="test")
+        text = summarize_flight_dump(path, tail=5)
+        assert "reason=test" in text
+        assert "progress=1" in text
+        assert "seed_decisive" in text
+
+    def test_unserialisable_values_fall_back_to_repr(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("odd", value=object())
+        path = recorder.dump(tmp_path / "f.ndjson")
+        assert "object object" in read_flight_dump(path)[1]["value"]
+
+
+class TestGlobalRecorder:
+    def test_record_is_noop_while_disabled(self):
+        disable_flight()
+        from repro.obs.flight import record
+
+        record("ignored", x=1)  # must not raise, must not accumulate
+        assert flight_recorder() is None
+        assert not flight_enabled()
+
+    def test_enable_is_idempotent_and_resize_replaces(self, flight):
+        assert enable_flight() is flight
+        bigger = enable_flight(capacity=flight.capacity * 2)
+        assert bigger is not flight
+        assert flight_recorder() is bigger
+
+    def test_dump_flight_returns_none_when_disabled(self):
+        disable_flight()
+        assert dump_flight() is None
+
+    def test_stellar_run_lands_span_and_progress_events(self, flight):
+        dataset = make_dataset("independent", 60, 3, seed=7)
+        stellar(dataset)
+        kinds = {e["kind"] for e in flight.events()}
+        assert {"span.start", "span.end", "progress.start", "progress.end",
+                "skyline.compute"} <= kinds
+        phases = {
+            e["phase"] for e in flight.events() if e["kind"] == "progress.start"
+        }
+        assert {"full_space_skyline", "maximal_cgroups", "seed_decisive",
+                "nonseed_extension"} <= phases
+
+    def test_repro_log_records_are_mirrored(self, flight):
+        from repro.obs import get_logger
+
+        get_logger("test.flight").warning("something happened")
+        logs = [e for e in flight.events() if e["kind"] == "log"]
+        assert logs and logs[-1]["event"] == "something happened"
+        assert logs[-1]["level"] == "warning"
+
+
+# -- progress ---------------------------------------------------------------
+
+
+class TestProgressTask:
+    def test_context_manager_maintains_ambient_stack(self, clean_telemetry):
+        assert current_task() is None
+        with ProgressTask("outer", total=10) as outer:
+            assert current_task() is outer
+            with ProgressTask("inner") as inner:
+                assert current_task() is inner
+                tick(3)
+                assert inner.done == 3
+                assert outer.done == 0
+            assert current_task() is outer
+        assert current_task() is None
+
+    def test_gauges_follow_the_active_task(self, clean_telemetry):
+        reg = MetricsRegistry()
+        with ProgressTask("phase_a", total=4, reg=reg) as task:
+            task.advance(2)
+            task.emit(force=True)
+            assert reg.info("build.phase").value == "phase_a"
+            assert reg.gauge("build.items_done").value == 2
+            assert reg.gauge("build.items_total").value == 4
+        assert reg.info("build.phase").value == ""
+
+    def test_nested_finish_restores_outer_gauges(self, clean_telemetry):
+        reg = MetricsRegistry()
+        with ProgressTask("outer", total=10, reg=reg):
+            with ProgressTask("inner", total=2, reg=reg) as inner:
+                inner.advance(2)
+            assert reg.info("build.phase").value == "outer"
+
+    def test_rate_and_eta(self, clean_telemetry):
+        task = ProgressTask("phase", total=100)
+        task.start()
+        try:
+            task.done = 50
+            task._started = time.monotonic() - 2.0
+            assert task.rate() == pytest.approx(25.0, rel=0.1)
+            assert task.eta_seconds() == pytest.approx(2.0, rel=0.1)
+        finally:
+            task.finish()
+
+    def test_eta_none_without_total_or_work(self, clean_telemetry):
+        untotalled = ProgressTask("a")
+        assert untotalled.eta_seconds() is None
+        fresh = ProgressTask("b", total=5)
+        assert fresh.eta_seconds() is None
+
+    def test_json_mode_emits_parseable_lines(self, clean_telemetry, capsys):
+        configure_progress("json")
+        with ProgressTask("phase_j", total=2) as task:
+            task.advance(2)
+            task.emit(force=True)
+        err = capsys.readouterr().err
+        payloads = [json.loads(line) for line in err.splitlines() if line]
+        assert any(
+            p["event"] == "progress" and p["phase"] == "phase_j"
+            for p in payloads
+        )
+        assert payloads[-1].get("final") is True
+
+    def test_off_mode_writes_nothing(self, clean_telemetry, capsys):
+        configure_progress("off")
+        with ProgressTask("quiet", total=3) as task:
+            task.advance(3)
+        assert capsys.readouterr().err == ""
+
+    def test_configure_progress_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown progress mode"):
+            configure_progress("loud")
+
+    def test_progress_events_reach_flight_ring(self, flight, clean_telemetry):
+        with ProgressTask("ringed", total=5) as task:
+            task.advance(5)
+        events = [e for e in flight.events() if e["kind"] == "progress.end"]
+        assert events and events[-1]["phase"] == "ringed"
+        assert events[-1]["done"] == 5
+
+
+class TestMapShardsProgress:
+    def _config(self, backend):
+        return ParallelConfig(backend=backend, workers=2)
+
+    def test_serial_path_fires_per_item(self):
+        seen = []
+        results = map_shards(
+            "t.serial",
+            _double,
+            [1, 2, 3],
+            config=self._config("serial"),
+            workers=1,
+            progress=lambda i, r: seen.append((i, r)),
+        )
+        assert results == [2, 4, 6]
+        assert seen == [(0, 2), (1, 4), (2, 6)]
+
+    def test_thread_pool_fires_for_every_shard(self):
+        seen = []
+        lock = threading.Lock()
+
+        def on_progress(i, result):
+            with lock:
+                seen.append((i, result))
+
+        results = map_shards(
+            "t.thread",
+            _double,
+            list(range(8)),
+            config=self._config("thread"),
+            workers=2,
+            progress=on_progress,
+        )
+        assert results == [i * 2 for i in range(8)]
+        assert sorted(seen) == [(i, i * 2) for i in range(8)]
+
+    def test_shard_failure_still_raises(self):
+        with pytest.raises(RuntimeError, match="shard 2"):
+            map_shards(
+                "t.fail",
+                _fail_on_two,
+                [0, 1, 2, 3],
+                config=self._config("thread"),
+                workers=2,
+                progress=lambda i, r: None,
+            )
+
+    def test_ambient_tick_advances_parent_from_shard_completions(
+        self, clean_telemetry
+    ):
+        with ProgressTask("fanout", total=6) as task:
+            map_shards(
+                "t.tick",
+                _double,
+                list(range(6)),
+                config=self._config("thread"),
+                workers=2,
+                progress=lambda i, r: tick(),
+            )
+            assert task.done == 6
+
+
+def _double(x):
+    return x * 2
+
+
+def _fail_on_two(x):
+    if x == 2:
+        raise RuntimeError("shard 2 exploded")
+    return x
+
+
+# -- heartbeat --------------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_sample_publishes_vitals(self, clean_telemetry):
+        reg = MetricsRegistry()
+        hb = Heartbeat(interval=60, reg=reg)
+        sample = hb.sample()
+        assert sample["rss_bytes"] > 0
+        assert reg.gauge("process.rss_bytes").value > 0
+        assert reg.gauge("process.cpu_seconds").value >= 0
+        assert reg.counter("process.heartbeats").value == 1
+        assert hb.beats == 1
+
+    def test_sample_reports_active_task(self, clean_telemetry):
+        reg = MetricsRegistry()
+        hb = Heartbeat(interval=60, reg=reg)
+        with ProgressTask("beating", total=7) as task:
+            task.advance(3)
+            sample = hb.sample()
+        assert sample["phase"] == "beating"
+        assert sample["done"] == 3
+        assert sample["total"] == 7
+
+    def test_snapshot_every_n_beats_lands_in_flight(
+        self, flight, clean_telemetry
+    ):
+        hb = Heartbeat(interval=60, snapshot_every=2)
+        hb.sample()
+        hb.sample()
+        kinds = [e["kind"] for e in flight.events()]
+        assert kinds.count("heartbeat") == 2
+        assert kinds.count("metrics") == 1
+
+    def test_thread_starts_and_stops_cleanly(self, clean_telemetry):
+        hb = Heartbeat(interval=0.01).start()
+        deadline = time.monotonic() + 5.0
+        while hb.beats == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert hb.beats > 0
+        hb.close()
+        hb.close()  # idempotent
+        assert not hb._thread.is_alive()
+
+    def test_global_heartbeat_singleton(self, clean_telemetry):
+        first = start_heartbeat(interval=60)
+        assert start_heartbeat(interval=1) is first
+        stop_heartbeat()
+        stop_heartbeat()  # idempotent
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="interval"):
+            Heartbeat(interval=0)
+
+    def test_resource_helpers(self):
+        assert rss_bytes() > 0
+        assert cpu_seconds() > 0
+
+
+# -- prometheus integration -------------------------------------------------
+
+
+class TestMidBuildScrape:
+    def test_info_metric_renders_as_labelled_gauge(self):
+        reg = MetricsRegistry()
+        reg.info("build.phase").set('odd "phase"\\name')
+        out = render_prometheus(reg)
+        assert (
+            'repro_build_phase{value="odd \\"phase\\"\\\\name"} 1' in out
+        )
+        assert "# TYPE repro_build_phase gauge" in out
+
+    def test_empty_info_is_omitted(self):
+        reg = MetricsRegistry()
+        reg.info("build.phase")
+        assert "build_phase" not in render_prometheus(reg)
+
+    def test_scrape_mid_build_reports_phase_and_vitals(self, clean_telemetry):
+        reset_metrics()
+        hb = Heartbeat(interval=60)
+        with start_metrics_server() as server:
+            with ProgressTask("nonseed_extension", total=40) as task:
+                task.advance(25)
+                task.emit(force=True)
+                hb.sample()
+                with urlopen(f"{server.url}/metrics", timeout=5) as response:
+                    body = response.read().decode()
+        assert 'repro_build_phase{value="nonseed_extension"} 1' in body
+        assert "repro_build_items_done 25" in body
+        assert "repro_build_items_total 40" in body
+        assert "repro_process_rss_bytes" in body
+
+    def test_concurrent_scrapes_while_build_advances(self, clean_telemetry):
+        reset_metrics()
+        errors: list[str] = []
+        bodies: list[str] = []
+        stop = threading.Event()
+
+        def scrape(url: str) -> None:
+            while not stop.is_set():
+                try:
+                    with urlopen(f"{url}/metrics", timeout=5) as response:
+                        if response.status != 200:
+                            errors.append(f"status {response.status}")
+                            return
+                        bodies.append(response.read().decode())
+                except Exception as exc:  # noqa: BLE001 - recorded for assert
+                    errors.append(repr(exc))
+                    return
+
+        with start_metrics_server() as server:
+            threads = [
+                threading.Thread(target=scrape, args=(server.url,))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            hb = Heartbeat(interval=60)
+            with ProgressTask("stress", total=5000) as task:
+                for _ in range(5000):
+                    task.advance(1)
+                    registry().counter("stress.ops").inc()
+                hb.sample()
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not errors
+        assert bodies
+        for body in bodies:  # every scrape parses line by line
+            for line in body.splitlines():
+                assert line.startswith("#") or " " in line
+
+
+# -- crash / signal / exit semantics ---------------------------------------
+
+
+_CHILD_PREAMBLE = """\
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.obs import enable_flight, install_crash_hooks, start_heartbeat
+from repro.obs.progress import ProgressTask
+enable_flight()
+install_crash_hooks(path={dump!r})
+start_heartbeat(interval=0.05)
+task = ProgressTask("seed_decisive", total=100)
+task.start()
+task.advance(42)
+task.emit(force=True)
+"""
+
+
+def _child(tmp_path: Path, body: str) -> tuple[subprocess.CompletedProcess, Path]:
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    dump = tmp_path / "flight.ndjson"
+    script = _CHILD_PREAMBLE.format(src=src, dump=str(dump)) + body
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    return proc, dump
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGUSR1"), reason="SIGUSR1 not available"
+)
+class TestSignalDump:
+    def test_sigusr1_dumps_then_dies_with_signal(self, tmp_path):
+        proc, dump = _child(
+            tmp_path, "os.kill(os.getpid(), __import__('signal').SIGUSR1)\n"
+        )
+        assert proc.returncode == -signal.SIGUSR1
+        assert dump.exists()
+        events = read_flight_dump(dump)
+        assert events[0]["kind"] == "flight.header"
+        assert events[0]["reason"] == "signal"
+        # The tail of the recording identifies the active phase and counts.
+        progress = [e for e in events if e["kind"] == "progress"]
+        assert progress[-1]["phase"] == "seed_decisive"
+        assert progress[-1]["done"] == 42
+        assert progress[-1]["total"] == 100
+        assert events[-1]["kind"] == "signal"
+        assert f"flight record written to {dump}" in proc.stderr
+
+    def test_snapshot_mode_continues_after_signal(self, tmp_path):
+        body = (
+            "import signal\n"
+            "install_crash_hooks(path={dump!r}, exit_on_signal=False)\n"
+            "os.kill(os.getpid(), signal.SIGUSR1)\n"
+            "print('still alive')\n"
+        ).format(dump=str(tmp_path / "flight.ndjson"))
+        proc, dump = _child(tmp_path, body)
+        assert proc.returncode == 0
+        assert "still alive" in proc.stdout
+        assert dump.exists()
+
+
+class TestCrashAndExitDumps:
+    def test_unhandled_exception_dumps_with_crash_event(self, tmp_path):
+        proc, dump = _child(
+            tmp_path, "raise RuntimeError('injected mid-build failure')\n"
+        )
+        assert proc.returncode == 1
+        assert "injected mid-build failure" in proc.stderr  # traceback chained
+        events = read_flight_dump(dump)
+        assert events[0]["reason"] == "exception"
+        crash = [e for e in events if e["kind"] == "crash"]
+        assert crash and crash[-1]["exc_type"] == "RuntimeError"
+        assert "injected mid-build failure" in crash[-1]["exc"]
+        progress = [e for e in events if e["kind"] == "progress"]
+        assert progress[-1]["phase"] == "seed_decisive"
+
+    def test_clean_exit_leaves_no_file_and_no_output(self, tmp_path):
+        proc, dump = _child(tmp_path, "task.finish()\n")
+        assert proc.returncode == 0
+        assert not dump.exists()
+        assert proc.stderr == ""
+
+    def test_dump_at_exit_writes_on_success(self, tmp_path):
+        body = (
+            "install_crash_hooks(path={dump!r}, dump_at_exit=True)\n"
+            "task.finish()\n"
+        ).format(dump=str(tmp_path / "flight.ndjson"))
+        proc, dump = _child(tmp_path, body)
+        assert proc.returncode == 0
+        events = read_flight_dump(dump)
+        assert events[0]["reason"] == "exit"
+
+
+class TestCliFlight:
+    def _run_cli(self, args, tmp_path, extra_env=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        env["REPRO_FLIGHT_DIR"] = str(tmp_path)
+        env["REPRO_HEARTBEAT"] = "0.05"
+        env.update(extra_env or {})
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=tmp_path,
+            env=env,
+        )
+
+    def test_flight_flag_dumps_on_exit(self, tmp_path):
+        csv = tmp_path / "d.csv"
+        proc = self._run_cli(
+            ["generate", "--n", "30", "--d", "3", "--out", str(csv),
+             "--flight"],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        dumps = list(tmp_path.glob("flight-*.ndjson"))
+        assert len(dumps) == 1
+        events = read_flight_dump(dumps[0])
+        assert events[0]["reason"] == "exit"
+        assert any(e["kind"] == "heartbeat" for e in events)
+
+    def test_no_flag_no_file(self, tmp_path):
+        csv = tmp_path / "d.csv"
+        proc = self._run_cli(
+            ["generate", "--n", "30", "--d", "3", "--out", str(csv)],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert not list(tmp_path.glob("flight-*.ndjson"))
+
+    def test_flight_capacity_and_off_validation(self, tmp_path):
+        proc = self._run_cli(["flight", "dump", "--flight", "bogus"], tmp_path)
+        assert proc.returncode == 2
+        assert "--flight" in proc.stderr
+
+    def test_progress_json_stream(self, tmp_path):
+        csv = tmp_path / "d.csv"
+        self._run_cli(
+            ["generate", "--n", "120", "--d", "3", "--out", str(csv)],
+            tmp_path,
+        )
+        proc = self._run_cli(
+            ["run", "--input", str(csv), "--max-groups", "1",
+             "--progress", "json"],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payloads = [
+            json.loads(line)
+            for line in proc.stderr.splitlines()
+            if line.startswith("{")
+        ]
+        phases = {p["phase"] for p in payloads if p.get("event") == "progress"}
+        assert "nonseed_extension" in phases
+
+    def test_flight_dump_and_show_subcommands(self, tmp_path):
+        out = tmp_path / "manual.ndjson"
+        proc = self._run_cli(
+            ["flight", "dump", "--out", str(out)], tmp_path
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out.exists()
+        proc = self._run_cli(["flight", "show", str(out)], tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "flight record" in proc.stdout
+
+    def test_flight_show_requires_file(self, tmp_path):
+        proc = self._run_cli(["flight", "show"], tmp_path)
+        assert proc.returncode == 2
+        assert "requires a dump file" in proc.stderr
+
+
+# -- ledger locking ---------------------------------------------------------
+
+
+class TestLedgerLocking:
+    def _entry(self, i: int) -> LedgerEntry:
+        return LedgerEntry(
+            figure="fig8",
+            scale="smoke",
+            created=float(i),
+            metrics={"stellar_total_s": float(i)},
+        )
+
+    def test_concurrent_appends_lose_nothing(self, tmp_path):
+        path = tmp_path / "BENCH_fig8.json"
+        n_threads, per_thread = 8, 5
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def worker(base: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for j in range(per_thread):
+                    append_entry(path, self._entry(base + j))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i * per_thread,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        entries = load_entries(path)
+        assert len(entries) == n_threads * per_thread
+        assert sorted(e.created for e in entries) == [
+            float(i) for i in range(n_threads * per_thread)
+        ]
+
+    def test_append_still_returns_index(self, tmp_path):
+        path = tmp_path / "BENCH_fig8.json"
+        assert append_entry(path, self._entry(0)) == 0
+        assert append_entry(path, self._entry(1)) == 1
