@@ -1,10 +1,13 @@
-"""A minimal subspace-skyline query service over a precomputed cube.
+"""A subspace-skyline query client over the repro.serve HTTP API.
 
-Demonstrates the intended production split: an offline job computes the
-compressed cube once (Stellar) and persists it; an online service loads
-the cube and answers the paper's three query families with microsecond
-latency and **zero** skyline computation -- fully observed: structured
-JSON logs, a Prometheus ``/metrics`` + ``/healthz`` endpoint (with live
+Demonstrates the production split end to end: an offline job computes the
+compressed cube once (Stellar) and *publishes* it into a versioned
+snapshot store; the online :class:`repro.serve.CubeService` loads the
+active version and answers the paper's three query families over
+HTTP/JSON with microsecond latency and **zero** skyline computation.
+This script is the thin client half -- every command below is one HTTP
+request against the service, which runs fully observed: structured JSON
+logs, a Prometheus ``/metrics`` + ``/healthz`` endpoint (with live
 RSS/CPU vitals from a heartbeat thread), a slow-query log dumped on
 shutdown, and a flight recorder dumped on crash or ``SIGUSR1``.
 
@@ -19,18 +22,21 @@ Commands (one per line on stdin):
 
 Run interactively:   python examples/subspace_query_service.py
 Or scripted:         printf 'skyline price\ntop 3\nquit\n' | python examples/subspace_query_service.py
-With metrics:        python examples/subspace_query_service.py --port 9090
+With a fixed port:   python examples/subspace_query_service.py --port 9090
 Health self-check:   python examples/subspace_query_service.py --selfcheck --scrape-out scrape.txt
 """
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
+from urllib.error import HTTPError
+from urllib.parse import urlencode
 from urllib.request import urlopen
 
 from repro import Dataset
-from repro.cube import CompressedSkylineCube, QueryEngine, load_cube, save_cube
+from repro.cube import CompressedSkylineCube
 from repro.obs import (
     configure_logging,
     configure_slow_query_log,
@@ -39,9 +45,9 @@ from repro.obs import (
     install_crash_hooks,
     slow_query_log,
     start_heartbeat,
-    start_metrics_server,
     stop_heartbeat,
 )
+from repro.serve import CubeService, SnapshotStore, start_server
 
 
 def build_catalog() -> Dataset:
@@ -59,18 +65,31 @@ def build_catalog() -> Dataset:
     )
 
 
-def build_engine() -> QueryEngine:
-    """Offline step (compute + persist) followed by the online load."""
+def build_service(snapshot_root: Path) -> CubeService:
+    """Offline step (compute + publish) followed by the online service."""
     dataset = build_catalog()
-    cube_path = Path(tempfile.gettempdir()) / "routes.cube.json"
-    save_cube(CompressedSkylineCube.build(dataset), cube_path)
-    print(f"[offline] cube persisted to {cube_path}")
-    return QueryEngine(load_cube(cube_path, dataset))
+    store = SnapshotStore(snapshot_root)
+    info = store.publish("routes", dataset, CompressedSkylineCube.build(dataset))
+    print(f"[offline] cube published as routes@{info.version} "
+          f"under {snapshot_root}")
+    return CubeService(store, default_snapshot="routes")
 
 
-def serve(engine: QueryEngine) -> None:
-    """The stdin command loop."""
-    dataset = engine.dataset
+def api_get(base_url: str, path: str, **params: object) -> dict:
+    """One GET against the service; errors surface as ValueError."""
+    url = f"{base_url}{path}"
+    if params:
+        url += "?" + urlencode(params, doseq=True)
+    try:
+        with urlopen(url, timeout=10) as response:
+            return json.loads(response.read())
+    except HTTPError as exc:
+        detail = json.loads(exc.read()).get("detail", exc.reason)
+        raise ValueError(detail) from None
+
+
+def serve(base_url: str) -> None:
+    """The stdin command loop -- a plain HTTP client of the service."""
     for line in sys.stdin:
         parts = line.strip().split(None, 1)
         if not parts:
@@ -80,14 +99,18 @@ def serve(engine: QueryEngine) -> None:
             if command == "quit":
                 break
             elif command == "skyline":
-                print("  " + ", ".join(engine.skyline(arg)))
+                result = api_get(base_url, "/v1/skyline", subspace=arg)["result"]
+                print("  " + ", ".join(result))
             elif command == "wins":
-                print("  " + "; ".join(engine.where_wins(arg)) or "  (nowhere)")
+                result = api_get(base_url, "/v1/where-wins", label=arg)["result"]
+                print("  " + "; ".join(result) or "  (nowhere)")
             elif command == "top":
-                for label, count in engine.top_frequent(int(arg)):
+                result = api_get(base_url, "/v1/top-frequent", k=int(arg))
+                for label, count in result["result"]:
                     print(f"  {label}: wins in {count} subspaces")
             elif command == "groups":
-                for signature in engine.signature_of(arg):
+                result = api_get(base_url, "/v1/signature", label=arg)["result"]
+                for signature in result:
                     print("  " + signature)
             elif command == "explain":
                 if not arg:
@@ -95,8 +118,10 @@ def serve(engine: QueryEngine) -> None:
                     continue
                 kind, *rest = arg.split(None, 1)
                 qargs = rest[0].split(None, 1) if rest else []
-                plan = engine.explain(kind, *qargs)
-                print("\n".join("  " + ln for ln in plan.render().splitlines()))
+                rendered = api_get(
+                    base_url, "/v1/explain", kind=kind, arg=qargs
+                )["result"]["rendered"]
+                print("\n".join("  " + ln for ln in rendered.splitlines()))
             else:
                 print(f"  unknown command {command!r}")
         except (ValueError, KeyError) as exc:
@@ -104,33 +129,32 @@ def serve(engine: QueryEngine) -> None:
     print("[online] bye")
 
 
-def selfcheck(engine: QueryEngine, scrape_out: str | None) -> int:
+def selfcheck(base_url: str, scrape_out: str | None) -> int:
     """One-shot health check: serve a few queries, scrape /metrics.
 
     Returns a process exit code; non-zero when the health endpoint or the
     metrics scrape fails.  Used by CI to archive a real Prometheus scrape.
     """
-    engine.skyline("price,stops")
-    engine.where_wins("TK-YVR")
-    engine.top_frequent(3)
+    api_get(base_url, "/v1/skyline", subspace="price,stops")
+    api_get(base_url, "/v1/where-wins", label="TK-YVR")
+    api_get(base_url, "/v1/top-frequent", k=3)
     heartbeat = start_heartbeat(interval=0.5)
     heartbeat.sample()  # at least one vitals sample before the scrape
-    with start_metrics_server() as server:
-        with urlopen(f"{server.url}/healthz", timeout=5) as response:
-            if response.status != 200:
-                print(f"[selfcheck] /healthz -> {response.status}", file=sys.stderr)
-                return 1
-        with urlopen(f"{server.url}/metrics", timeout=5) as response:
-            body = response.read().decode("utf-8")
-            if response.status != 200 or "repro_query" not in body:
-                print("[selfcheck] /metrics scrape failed", file=sys.stderr)
-                return 1
-            if "repro_process_rss_bytes" not in body:
-                print(
-                    "[selfcheck] /metrics scrape lacks heartbeat vitals",
-                    file=sys.stderr,
-                )
-                return 1
+    with urlopen(f"{base_url}/healthz", timeout=5) as response:
+        if response.status != 200:
+            print(f"[selfcheck] /healthz -> {response.status}", file=sys.stderr)
+            return 1
+    with urlopen(f"{base_url}/metrics", timeout=5) as response:
+        body = response.read().decode("utf-8")
+        if response.status != 200 or "repro_query" not in body:
+            print("[selfcheck] /metrics scrape failed", file=sys.stderr)
+            return 1
+        if "repro_process_rss_bytes" not in body:
+            print(
+                "[selfcheck] /metrics scrape lacks heartbeat vitals",
+                file=sys.stderr,
+            )
+            return 1
     if scrape_out:
         Path(scrape_out).write_text(body)
         print(f"[selfcheck] scrape written to {scrape_out}")
@@ -142,9 +166,9 @@ def selfcheck(engine: QueryEngine, scrape_out: str | None) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--port", type=int, default=None,
-        help="serve Prometheus /metrics + /healthz on this port while the "
-        "command loop runs (0 picks a free port)",
+        "--port", type=int, default=0,
+        help="bind the service (API + /metrics + /healthz) to this port "
+        "(default: an ephemeral port)",
     )
     parser.add_argument(
         "--log-json", nargs="?", const="info", default=None, metavar="LEVEL",
@@ -156,8 +180,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--selfcheck", action="store_true",
-        help="one-shot mode: run sample queries, verify /healthz and "
-        "/metrics, then exit (for CI health checks)",
+        help="one-shot mode: run sample queries over HTTP, verify /healthz "
+        "and /metrics, then exit (for CI health checks)",
     )
     parser.add_argument(
         "--scrape-out", default=None, metavar="FILE",
@@ -174,39 +198,35 @@ def main(argv: list[str] | None = None) -> int:
     install_crash_hooks()
     log = get_logger("examples.service")
 
-    engine = build_engine()
-    dataset = engine.dataset
-    log.info(
-        "service.ready",
-        extra={"objects": dataset.n_objects, "groups": len(engine.cube.groups)},
-    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        service = build_service(Path(tmp) / "snapshots")
+        server = start_server(service, port=args.port)
+        health = api_get(server.url, "/healthz")
+        log.info("service.ready", extra={"snapshots": health["snapshots"]})
 
-    if args.selfcheck:
-        try:
-            return selfcheck(engine, args.scrape_out)
-        finally:
-            stop_heartbeat()
+        if args.selfcheck:
+            try:
+                return selfcheck(server.url, args.scrape_out)
+            finally:
+                stop_heartbeat()
+                server.close()
 
-    server = None
-    if args.port is not None:
-        server = start_metrics_server(port=args.port)
         # Scrapes of a live service should show vitals, not just queries.
         start_heartbeat()
-        print(f"[online] metrics at {server.url}/metrics "
-              f"(health: {server.url}/healthz)")
-    print(f"[online] serving {dataset.n_objects} routes, "
-          f"{len(engine.cube.groups)} skyline groups; "
-          "commands: skyline/wins/top/groups/explain/quit")
-    try:
-        serve(engine)
-    finally:
-        stop_heartbeat()
-        if server is not None:
+        print(f"[online] service at {server.url} "
+              f"(metrics: {server.url}/metrics, health: {server.url}/healthz)")
+        catalog = build_catalog()
+        print(f"[online] serving {catalog.n_objects} routes; "
+              "commands: skyline/wins/top/groups/explain/quit")
+        try:
+            serve(server.url)
+        finally:
+            stop_heartbeat()
             server.close()
-        slowlog = slow_query_log()
-        if slowlog.entries():
-            print("[online] slow-query log:")
-            print("\n".join("  " + ln for ln in slowlog.render().splitlines()))
+            slowlog = slow_query_log()
+            if slowlog.entries():
+                print("[online] slow-query log:")
+                print("\n".join("  " + ln for ln in slowlog.render().splitlines()))
     return 0
 
 

@@ -26,6 +26,10 @@ Subcommands
 ``flight``
     Flight-recorder utilities: ``flight dump`` writes the current ring as
     NDJSON, ``flight show FILE`` summarizes a previously written dump.
+``serve``
+    Serve published cube snapshots over HTTP/JSON: versioned snapshot
+    store, result cache, admission control with load shedding, plus the
+    ``/metrics`` and ``/healthz`` endpoints (see docs/SERVING.md).
 
 Every subcommand additionally accepts the observability flags
 ``--trace[=FILE]``, ``--metrics``, ``--profile``, ``--log-json[=LEVEL]``,
@@ -327,6 +331,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag metrics that grew by more than FRAC (default 0.25 = +25%%)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve published cube snapshots over HTTP/JSON",
+        parents=[obs],
+    )
+    p_serve.add_argument(
+        "--snapshot-dir",
+        required=True,
+        metavar="DIR",
+        help="root directory of the snapshot store",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 picks a free one; default 8080)",
+    )
+    p_serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="NAME",
+        help="default snapshot for requests that do not name one",
+    )
+    p_serve.add_argument(
+        "--publish",
+        default=None,
+        metavar="CSV",
+        help="publish this dataset CSV as a new active snapshot version "
+        "before serving (name from --snapshot or the file stem)",
+    )
+    p_serve.add_argument(
+        "--algorithm",
+        default="stellar",
+        choices=["stellar", "skyey"],
+        help="cube algorithm for --publish (default stellar)",
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="result-cache entries (0 disables caching; default 1024)",
+    )
+    p_serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="result-cache entry TTL (default: no TTL, LRU only)",
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queries executing at once (default 8)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queries allowed to wait for a slot; beyond this requests "
+        "are shed with HTTP 503 (default 16)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="default per-request deadline (default 1000)",
+    )
+    p_serve.add_argument(
+        "--reload-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how often to check the CURRENT pointer for hot reload "
+        "(0 = every request; default 0.5)",
+    )
+    p_serve.add_argument(
+        "--preload",
+        action="store_true",
+        help="load every snapshot's active version at startup instead of "
+        "lazily on first request",
+    )
+
     p_flight = sub.add_parser(
         "flight", help="flight-recorder utilities", parents=[obs]
     )
@@ -361,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
         "flight": _cmd_flight,
+        "serve": _cmd_serve,
     }[args.command]
     return _with_telemetry(handler, args)
 
@@ -452,6 +547,71 @@ def _with_telemetry(handler, args: argparse.Namespace) -> int:
         stop_heartbeat()
         if progress_spec is not None:
             configure_progress("off")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .cube import CompressedSkylineCube
+    from .data import load_csv
+    from .serve import (
+        AdmissionController,
+        CubeService,
+        ResultCache,
+        SnapshotStore,
+        start_server,
+    )
+
+    try:
+        cache = ResultCache(
+            max_entries=args.cache_size, ttl_seconds=args.cache_ttl
+        )
+        admission = AdmissionController(
+            max_concurrency=args.max_concurrency,
+            queue_limit=args.queue_limit,
+            default_deadline_ms=args.deadline_ms,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    store = SnapshotStore(args.snapshot_dir)
+    if args.publish:
+        name = args.snapshot or Path(args.publish).stem
+        dataset = load_csv(args.publish)
+        cube = CompressedSkylineCube.build(dataset, algorithm=args.algorithm)
+        info = store.publish(name, dataset, cube, algorithm=args.algorithm)
+        print(
+            f"published {name}@{info.version} "
+            f"({info.n_objects} objects, {info.n_groups} groups)"
+        )
+
+    service = CubeService(
+        store,
+        cache=cache,
+        admission=admission,
+        default_snapshot=args.snapshot,
+        reload_interval=args.reload_interval,
+    )
+    if args.preload:
+        for name in service.preload():
+            print(f"preloaded {name}")
+
+    names = store.names()
+    server = start_server(service, host=args.host, port=args.port)
+    print(
+        f"serving at {server.url} "
+        f"(snapshots: {', '.join(names) if names else 'none yet'})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
 
 
 def _cmd_flight(args: argparse.Namespace) -> int:

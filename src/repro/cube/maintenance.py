@@ -71,6 +71,24 @@ class MaintainedCube:
         self._seeds: list[int] = list(result.seeds)
         self.stats = MaintenanceStats()
 
+    @classmethod
+    def adopt(cls, cube: CompressedSkylineCube) -> "MaintainedCube":
+        """Wrap an already-computed cube without re-running Stellar.
+
+        The seed set is recovered from the cube itself: the seeds are by
+        definition the full-space skyline objects, and the cube answers
+        that query from its groups alone.  This is what lets the serving
+        layer (:mod:`repro.serve`) attach incremental maintenance to a
+        snapshot loaded from disk at zero extra build cost.
+        """
+        self = cls.__new__(cls)
+        self._dataset = cube.dataset
+        self._cube = cube
+        full_space = (1 << cube.dataset.n_dims) - 1
+        self._seeds = cube.skyline_of(full_space) if full_space else []
+        self.stats = MaintenanceStats()
+        return self
+
     @property
     def seeds(self) -> list[int]:
         """Indices of the current full-space skyline objects."""

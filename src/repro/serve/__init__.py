@@ -1,0 +1,44 @@
+"""Production query-serving subsystem over compressed skyline cubes.
+
+The ROADMAP's north star is a system that *serves* the cube, not just
+builds it.  This package is that serving layer (see docs/SERVING.md):
+
+* :mod:`repro.serve.store` -- named, versioned cube snapshots on disk with
+  atomic publish and an atomically-replaced ``CURRENT`` pointer;
+* :mod:`repro.serve.cache` -- a thread-safe LRU+TTL result cache keyed on
+  ``(cube_version, query_kind, normalized_args)`` with structural
+  invalidation (every mutation/swap mints a new version string);
+* :mod:`repro.serve.admission` -- per-request deadlines, a concurrency
+  semaphore with a bounded queue, and typed load shedding;
+* :mod:`repro.serve.app` -- the :class:`CubeService` composition plus the
+  stdlib HTTP/JSON API (``repro serve`` on the CLI).
+
+Every request runs observed through :mod:`repro.obs`: tracing spans,
+``serve.*`` metrics on the Prometheus endpoint, structured logs, the
+slow-query log, and the flight recorder.
+"""
+
+from .admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    Overloaded,
+    OverloadedError,
+)
+from .app import CubeService, UnknownSnapshotError, start_server
+from .cache import ResultCache
+from .store import SnapshotInfo, SnapshotStore
+
+__all__ = [
+    "SnapshotStore",
+    "SnapshotInfo",
+    "ResultCache",
+    "AdmissionController",
+    "Deadline",
+    "Overloaded",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "CubeService",
+    "UnknownSnapshotError",
+    "start_server",
+]

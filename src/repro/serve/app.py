@@ -1,0 +1,683 @@
+"""The query-serving service: snapshots + cache + admission + HTTP API.
+
+:class:`CubeService` composes the other three serve modules into one
+production-shaped unit:
+
+* snapshots load *lazily* from a :class:`~repro.serve.store.SnapshotStore`
+  on first request and hot-swap when the store's ``CURRENT`` pointer moves
+  (checked at most every ``reload_interval`` seconds);
+* every query result is cached under ``(cube_version, kind, args)`` in a
+  :class:`~repro.serve.cache.ResultCache` -- the version string changes on
+  every maintenance mutation and snapshot swap, so stale entries can never
+  be served;
+* every request passes the :class:`~repro.serve.admission.AdmissionController`
+  first: bounded concurrency, bounded queueing, typed shedding.
+
+The HTTP layer is a thin JSON façade over the service on the stdlib
+:class:`~http.server.ThreadingHTTPServer` (no third-party dependency):
+``/v1/skyline``, ``/v1/where-wins``, ``/v1/wins-in``, ``/v1/why-not``,
+``/v1/signature``, ``/v1/top-frequent``, ``/v1/explain``,
+``/v1/snapshots`` (list/publish/activate), ``/v1/maintenance``
+(insert/delete), plus the ``/metrics`` and ``/healthz`` documents of
+:mod:`repro.obs.promexport`.  Every response echoes the ``cube_version``
+that produced it, so clients (and the concurrency tests) can pin results
+to cube generations.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.types import Dataset
+from ..cube.compressed import CompressedSkylineCube
+from ..cube.maintenance import MaintainedCube
+from ..cube.query import QueryEngine
+from ..data.io import load_csv
+from ..obs.logging import get_logger
+from ..obs.metrics import registry
+from ..obs.promexport import MetricsServer, render_prometheus
+from ..obs.tracing import span
+from .admission import (
+    AdmissionController,
+    DeadlineExceededError,
+    OverloadedError,
+)
+from .cache import ResultCache
+from .store import SnapshotInfo, SnapshotStore
+
+__all__ = ["CubeService", "UnknownSnapshotError", "start_server"]
+
+_LOG = get_logger("serve")
+
+_REQUESTS = registry().counter("serve.requests")
+_REQUEST_SECONDS = registry().histogram("serve.request.seconds")
+_SWAPS = registry().counter("serve.snapshot.swaps")
+_INSERTS = registry().counter("serve.maintenance.inserts")
+_DELETES = registry().counter("serve.maintenance.deletes")
+
+
+class UnknownSnapshotError(LookupError):
+    """The requested snapshot name has no loadable active version."""
+
+
+@dataclass(frozen=True)
+class _Serving:
+    """One immutable generation of a served snapshot.
+
+    Queries grab the current generation once and answer entirely from it,
+    so a concurrent swap (new version activated, maintenance mutation)
+    can never mix cube versions within one response.
+    """
+
+    name: str
+    base_version: str
+    mutations: int
+    dataset: Dataset
+    cube: CompressedSkylineCube
+    engine: QueryEngine
+    maintained: MaintainedCube | None
+    info: SnapshotInfo
+
+    @property
+    def cube_version(self) -> str:
+        """``<name>@<version>`` plus ``+<n>`` after n in-memory mutations."""
+        base = f"{self.name}@{self.base_version}"
+        return f"{base}+{self.mutations}" if self.mutations else base
+
+
+def _parse_mask(engine: QueryEngine, params: dict, key: str = "subspace") -> int:
+    return engine.dataset.parse_subspace(_require(params, key))
+
+
+def _require(params: dict, key: str) -> str:
+    try:
+        return params[key]
+    except KeyError:
+        raise ValueError(f"missing parameter {key!r}") from None
+
+
+def _parse_k(params: dict) -> int:
+    raw = _require(params, "k")
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"k must be an integer, got {raw!r}") from None
+
+
+def _run_explain(engine: QueryEngine, params: dict) -> dict:
+    plan = engine.explain(
+        _require(params, "kind"), *params.get("args", ())
+    )
+    return {"plan": plan.to_dict(), "rendered": plan.render()}
+
+
+@dataclass(frozen=True)
+class _QuerySpec:
+    cacheable: bool
+    normalize: Callable[[QueryEngine, dict], tuple]
+    run: Callable[[QueryEngine, dict], object]
+
+
+#: Query kind -> cache-key normaliser + executor.  Subspaces normalise to
+#: bitmasks so every textual spelling of the same subspace shares one cache
+#: entry; ``explain`` bypasses the cache (its plan records live timings).
+_SPECS: dict[str, _QuerySpec] = {
+    "skyline": _QuerySpec(
+        cacheable=True,
+        normalize=lambda e, p: (_parse_mask(e, p),),
+        run=lambda e, p: e.skyline(p["subspace"]),
+    ),
+    "where-wins": _QuerySpec(
+        cacheable=True,
+        normalize=lambda e, p: (_require(p, "label"),),
+        run=lambda e, p: e.where_wins(p["label"]),
+    ),
+    "wins-in": _QuerySpec(
+        cacheable=True,
+        normalize=lambda e, p: (_require(p, "label"), _parse_mask(e, p)),
+        run=lambda e, p: e.wins_in(p["label"], p["subspace"]),
+    ),
+    "why-not": _QuerySpec(
+        cacheable=True,
+        normalize=lambda e, p: (_require(p, "label"), _parse_mask(e, p)),
+        run=lambda e, p: e.why_not(p["label"], p["subspace"]),
+    ),
+    "signature": _QuerySpec(
+        cacheable=True,
+        normalize=lambda e, p: (_require(p, "label"),),
+        run=lambda e, p: e.signature_of(p["label"]),
+    ),
+    "top-frequent": _QuerySpec(
+        cacheable=True,
+        normalize=lambda e, p: (_parse_k(p),),
+        run=lambda e, p: e.top_frequent(_parse_k(p)),
+    ),
+    "explain": _QuerySpec(
+        cacheable=False,
+        normalize=lambda e, p: (_require(p, "kind"), tuple(p.get("args", ()))),
+        run=_run_explain,
+    ),
+}
+
+
+class CubeService:
+    """Queryable front end over a snapshot store (see module docstring)."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        *,
+        cache: ResultCache | None = None,
+        admission: AdmissionController | None = None,
+        default_snapshot: str | None = None,
+        reload_interval: float = 0.5,
+    ):
+        self.store = store
+        self.cache = cache if cache is not None else ResultCache()
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.default_snapshot = default_snapshot
+        self.reload_interval = reload_interval
+        self._lock = threading.Lock()
+        self._states: dict[str, _Serving] = {}
+        self._checked: dict[str, float] = {}
+        self._name_locks: dict[str, threading.RLock] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self,
+        kind: str,
+        params: dict,
+        snapshot: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Answer one query, observed and admission-controlled.
+
+        Returns the JSON response envelope: ``snapshot``, ``cube_version``,
+        ``kind``, ``result``, ``cached``, ``seconds``.  Raises
+        :class:`OverloadedError` when shed, :class:`DeadlineExceededError`
+        when the deadline expires first, :class:`UnknownSnapshotError` /
+        :class:`ValueError` on bad input.
+        """
+        try:
+            spec = _SPECS[kind]
+        except KeyError:
+            known = ", ".join(sorted(_SPECS))
+            raise ValueError(
+                f"unknown query kind {kind!r}; known kinds: {known}"
+            ) from None
+        deadline = self.admission.deadline(deadline_ms)
+        with self.admission.admit(deadline):
+            state = self._state(self._resolve_name(snapshot))
+            t0 = time.perf_counter()
+            with span(
+                "serve.query", kind=kind, snapshot=state.name
+            ) as sp:
+                key = (state.cube_version, kind, spec.normalize(state.engine, params))
+                cached = False
+                if spec.cacheable:
+                    result, cached = self.cache.get(key)
+                if not cached:
+                    if deadline.expired:
+                        raise DeadlineExceededError(deadline)
+                    result = spec.run(state.engine, params)
+                    if spec.cacheable:
+                        self.cache.put(key, result)
+                seconds = time.perf_counter() - t0
+                sp.annotate(cached=cached, cube_version=state.cube_version)
+            _REQUESTS.inc()
+            _REQUEST_SECONDS.observe(seconds)
+            _LOG.debug(
+                "serve.query",
+                extra={
+                    "kind": kind,
+                    "snapshot": state.name,
+                    "cube_version": state.cube_version,
+                    "cached": cached,
+                    "seconds": round(seconds, 6),
+                },
+            )
+            return {
+                "snapshot": state.name,
+                "cube_version": state.cube_version,
+                "kind": kind,
+                "result": result,
+                "cached": cached,
+                "seconds": seconds,
+            }
+
+    # -- maintenance -------------------------------------------------------
+
+    def maintenance_insert(
+        self,
+        row: list[float],
+        label: str | None = None,
+        snapshot: str | None = None,
+    ) -> dict:
+        """Insert one object into the served cube; invalidates the cache."""
+        name = self._resolve_name(snapshot)
+        with self._name_lock(name):
+            state = self._state(name)
+            maintained = state.maintained or MaintainedCube.adopt(state.cube)
+            fast = maintained.insert([float(v) for v in row], label=label)
+            new_state = self._mutated(state, maintained)
+            _INSERTS.inc()
+        return self._mutation_envelope(new_state, fast, "insert")
+
+    def maintenance_delete(
+        self, label: str, snapshot: str | None = None
+    ) -> dict:
+        """Delete one object from the served cube; invalidates the cache."""
+        name = self._resolve_name(snapshot)
+        with self._name_lock(name):
+            state = self._state(name)
+            maintained = state.maintained or MaintainedCube.adopt(state.cube)
+            fast = maintained.delete(label)
+            new_state = self._mutated(state, maintained)
+            _DELETES.inc()
+        return self._mutation_envelope(new_state, fast, "delete")
+
+    def _mutated(
+        self, state: _Serving, maintained: MaintainedCube
+    ) -> _Serving:
+        """Swap in the post-mutation generation and invalidate the cache."""
+        new_state = _Serving(
+            name=state.name,
+            base_version=state.base_version,
+            mutations=state.mutations + 1,
+            dataset=maintained.dataset,
+            cube=maintained.cube,
+            engine=QueryEngine(maintained.cube),
+            maintained=maintained,
+            info=state.info,
+        )
+        with self._lock:
+            self._states[state.name] = new_state
+        self.cache.invalidate(state.cube_version)
+        _LOG.info(
+            "serve.mutation",
+            extra={
+                "snapshot": state.name,
+                "cube_version": new_state.cube_version,
+            },
+        )
+        return new_state
+
+    @staticmethod
+    def _mutation_envelope(state: _Serving, fast: bool, op: str) -> dict:
+        return {
+            "snapshot": state.name,
+            "cube_version": state.cube_version,
+            "op": op,
+            "fast_path": fast,
+            "n_objects": state.dataset.n_objects,
+            "n_groups": len(state.cube.groups),
+        }
+
+    # -- snapshot management ----------------------------------------------
+
+    def publish_csv(
+        self,
+        name: str,
+        csv_text: str,
+        algorithm: str = "stellar",
+        activate: bool = True,
+    ) -> dict:
+        """Build a cube from CSV text and publish it as a new version."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "dataset.csv"
+            path.write_text(csv_text)
+            dataset = load_csv(path)
+        cube = CompressedSkylineCube.build(dataset, algorithm=algorithm)
+        info = self.store.publish(
+            name, dataset, cube, algorithm=algorithm, activate=activate
+        )
+        if activate:
+            self._force_reload(name)
+        return {**info.to_dict(), "active": activate}
+
+    def activate(self, name: str, version: str) -> dict:
+        """Activate a published version; live traffic swaps to it."""
+        self.store.activate(name, version)
+        self._force_reload(name)
+        return {"snapshot": name, "version": version, "active": True}
+
+    def snapshots_overview(self) -> dict:
+        """The ``/v1/snapshots`` document."""
+        snapshots = []
+        with self._lock:
+            loaded = {
+                name: state.cube_version
+                for name, state in self._states.items()
+            }
+        for name in self.store.names():
+            current = self.store.current_version(name)
+            snapshots.append(
+                {
+                    "name": name,
+                    "current": current,
+                    "loaded_version": loaded.get(name),
+                    "versions": [
+                        {**info.to_dict(), "active": info.version == current}
+                        for info in self.store.versions(name)
+                    ],
+                }
+            )
+        return {"snapshots": snapshots}
+
+    def preload(self) -> list[str]:
+        """Eagerly load every snapshot's active version (optional)."""
+        names = []
+        for name in self.store.names():
+            if self.store.current_version(name) is not None:
+                self._state(name)
+                names.append(name)
+        return names
+
+    def health(self) -> dict:
+        """The ``/healthz`` document."""
+        with self._lock:
+            loaded = {
+                name: state.cube_version
+                for name, state in self._states.items()
+            }
+        return {
+            "status": "ok",
+            "snapshots": loaded,
+            "cache": self.cache.stats(),
+            "inflight": self.admission.inflight,
+            "waiting": self.admission.waiting,
+        }
+
+    # -- internal ----------------------------------------------------------
+
+    def _resolve_name(self, snapshot: str | None) -> str:
+        if snapshot:
+            return snapshot
+        if self.default_snapshot:
+            return self.default_snapshot
+        names = self.store.names()
+        if len(names) == 1:
+            return names[0]
+        if not names:
+            raise UnknownSnapshotError("no snapshots published")
+        raise ValueError(
+            "ambiguous request: pass snapshot=<name> "
+            f"(published: {', '.join(names)})"
+        )
+
+    def _name_lock(self, name: str) -> threading.RLock:
+        with self._lock:
+            lock = self._name_locks.get(name)
+            if lock is None:
+                lock = self._name_locks[name] = threading.RLock()
+            return lock
+
+    def _force_reload(self, name: str) -> None:
+        with self._lock:
+            self._checked.pop(name, None)
+
+    def _state(self, name: str) -> _Serving:
+        """Current generation of ``name``, loading/hot-swapping as needed.
+
+        The store's ``CURRENT`` pointer is consulted at most every
+        ``reload_interval`` seconds (every request when 0).  A pointer move
+        swaps in the new version and drops the old generation's cache
+        entries; in-memory maintenance mutations survive reload checks
+        because the base version is unchanged.
+        """
+        now = time.monotonic()
+        with self._lock:
+            state = self._states.get(name)
+            checked = self._checked.get(name)
+        if (
+            state is not None
+            and checked is not None
+            and now - checked < self.reload_interval
+        ):
+            return state
+        with self._name_lock(name):
+            with self._lock:
+                state = self._states.get(name)
+                checked = self._checked.get(name)
+            if (
+                state is not None
+                and checked is not None
+                and time.monotonic() - checked < self.reload_interval
+            ):
+                return state
+            try:
+                current = self.store.current_version(name)
+            except ValueError as exc:
+                raise UnknownSnapshotError(str(exc)) from None
+            if current is None:
+                if state is not None:
+                    # Keep serving the loaded generation if the pointer
+                    # vanished out from under us; degraded beats down.
+                    return state
+                raise UnknownSnapshotError(
+                    f"snapshot {name!r} has no active version"
+                )
+            if state is None or state.base_version != current:
+                dataset, cube, info = self.store.load(name, current)
+                new_state = _Serving(
+                    name=name,
+                    base_version=current,
+                    mutations=0,
+                    dataset=dataset,
+                    cube=cube,
+                    engine=QueryEngine(cube),
+                    maintained=None,
+                    info=info,
+                )
+                old_version = state.cube_version if state else None
+                with self._lock:
+                    self._states[name] = new_state
+                if old_version is not None:
+                    self.cache.invalidate(old_version)
+                    _SWAPS.inc()
+                _LOG.info(
+                    "serve.snapshot_loaded",
+                    extra={
+                        "snapshot": name,
+                        "cube_version": new_state.cube_version,
+                        "swapped_from": old_version,
+                    },
+                )
+                state = new_state
+            with self._lock:
+                self._checked[name] = time.monotonic()
+            return state
+
+    # -- HTTP façade -------------------------------------------------------
+
+    #: GET endpoint -> query kind.
+    GET_QUERIES = {
+        "/v1/skyline": "skyline",
+        "/v1/where-wins": "where-wins",
+        "/v1/wins-in": "wins-in",
+        "/v1/why-not": "why-not",
+        "/v1/signature": "signature",
+        "/v1/top-frequent": "top-frequent",
+        "/v1/explain": "explain",
+    }
+
+    def handle_http(
+        self, method: str, path: str, query: dict, body: dict
+    ) -> tuple[int, dict, dict]:
+        """Route one request; returns ``(status, json_payload, headers)``.
+
+        Socket-free so tests can exercise routing and error mapping
+        directly; the HTTP handler is a thin wrapper over this.
+        """
+        try:
+            return 200, self._route(method, path, query, body), {}
+        except OverloadedError as exc:
+            shed = exc.overloaded
+            return (
+                503,
+                shed.to_dict(),
+                {"Retry-After": f"{shed.retry_after_seconds:g}"},
+            )
+        except DeadlineExceededError as exc:
+            return 504, {"error": "deadline_exceeded", "detail": str(exc)}, {}
+        except UnknownSnapshotError as exc:
+            return 404, {"error": "unknown_snapshot", "detail": str(exc)}, {}
+        except ValueError as exc:
+            return 400, {"error": "bad_request", "detail": str(exc)}, {}
+        except Exception:
+            _LOG.exception("serve.internal_error")
+            return 500, {"error": "internal"}, {}
+
+    def _route(self, method: str, path: str, query: dict, body: dict) -> dict:
+        if method == "GET":
+            if path == "/healthz":
+                return self.health()
+            if path == "/v1/snapshots":
+                return self.snapshots_overview()
+            kind = self.GET_QUERIES.get(path)
+            if kind is None:
+                raise UnknownSnapshotError(f"no such endpoint: {path}")
+            params = {
+                key: values[0]
+                for key, values in query.items()
+                if key != "arg"
+            }
+            if "arg" in query:
+                params["args"] = query["arg"]
+            deadline_ms = None
+            if "deadline_ms" in params:
+                try:
+                    deadline_ms = float(params.pop("deadline_ms"))
+                except ValueError:
+                    raise ValueError("deadline_ms must be a number") from None
+            return self.query(
+                kind,
+                params,
+                snapshot=params.pop("snapshot", None),
+                deadline_ms=deadline_ms,
+            )
+        if method == "POST":
+            if path == "/v1/snapshots/publish":
+                return self.publish_csv(
+                    _require(body, "name"),
+                    _require(body, "csv"),
+                    algorithm=body.get("algorithm", "stellar"),
+                    activate=bool(body.get("activate", True)),
+                )
+            if path == "/v1/snapshots/activate":
+                return self.activate(
+                    _require(body, "name"), _require(body, "version")
+                )
+            if path == "/v1/maintenance/insert":
+                row = body.get("row")
+                if not isinstance(row, list) or not row:
+                    raise ValueError("insert needs a non-empty 'row' list")
+                return self.maintenance_insert(
+                    row,
+                    label=body.get("label"),
+                    snapshot=body.get("snapshot"),
+                )
+            if path == "/v1/maintenance/delete":
+                return self.maintenance_delete(
+                    _require(body, "label"), snapshot=body.get("snapshot")
+                )
+        raise UnknownSnapshotError(f"no such endpoint: {method} {path}")
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP façade; one instance per request (stdlib behavior)."""
+
+    service: CubeService  # injected via type() in start_server
+    server_version = "repro-serve/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = urlsplit(self.path)
+        if parts.path == "/metrics":
+            body = render_prometheus().encode()
+            self._reply_raw(
+                200, "text/plain; version=0.0.4; charset=utf-8", body
+            )
+            return
+        status, payload, headers = self.service.handle_http(
+            "GET", parts.path, parse_qs(parts.query), {}
+        )
+        self._reply_json(status, payload, headers)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parts = urlsplit(self.path)
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply_json(
+                400, {"error": "bad_request", "detail": str(exc)}, {}
+            )
+            return
+        status, payload, headers = self.service.handle_http(
+            "POST", parts.path, parse_qs(parts.query), body
+        )
+        self._reply_json(status, payload, headers)
+
+    def _reply_json(self, status: int, payload: dict, headers: dict) -> None:
+        self._reply_raw(
+            status,
+            "application/json",
+            (json.dumps(payload) + "\n").encode(),
+            headers,
+        )
+
+    def _reply_raw(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        headers: dict | None = None,
+    ) -> None:
+        registry().counter(f"serve.http.{status}").inc()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Route access logs through the structured logger, not stderr."""
+        get_logger("serve.http").debug(format % args)
+
+
+def start_server(
+    service: CubeService, host: str = "127.0.0.1", port: int = 0
+) -> MetricsServer:
+    """Serve the full API in the background; returns a closeable handle.
+
+    The handle is the same daemon-thread wrapper the metrics endpoint uses
+    (``.url``, ``.port``, context-manager ``close``); ``port=0`` binds an
+    ephemeral port.
+    """
+    handler = type("BoundServeHandler", (_ServeHandler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    _LOG.info(
+        "serve.listening",
+        extra={"host": server.server_address[0], "port": server.server_address[1]},
+    )
+    return MetricsServer(server, thread)

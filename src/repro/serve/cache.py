@@ -1,0 +1,139 @@
+"""Thread-safe LRU+TTL cache for query results, keyed by cube version.
+
+The serving layer caches *normalized* query results under the key
+``(cube_version, query_kind, normalized_args)``.  Correct invalidation is
+structural rather than heuristic: every cube mutation (a maintenance
+insert/delete) and every snapshot hot-swap produces a *new* cube-version
+string, so a stale entry can never be returned -- its key simply never
+matches again.  :meth:`ResultCache.invalidate` additionally drops the dead
+entries eagerly so a long-lived service does not carry old generations
+until LRU pressure finds them.
+
+Hit/miss/eviction/expiry totals feed both the metrics registry (exported
+as ``repro_serve_cache_*`` by the Prometheus endpoint) and a local
+:meth:`stats` snapshot the ``/healthz`` document embeds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from ..obs.metrics import registry
+
+__all__ = ["ResultCache"]
+
+# Handles survive metric resets; created once at import.
+_HITS = registry().counter("serve.cache.hits")
+_MISSES = registry().counter("serve.cache.misses")
+_EVICTIONS = registry().counter("serve.cache.evictions")
+_EXPIRED = registry().counter("serve.cache.expired")
+_INVALIDATED = registry().counter("serve.cache.invalidated")
+_SIZE = registry().gauge("serve.cache.size")
+
+
+class ResultCache:
+    """Bounded LRU cache with optional per-entry TTL.
+
+    ``max_entries <= 0`` disables caching entirely (every lookup misses,
+    nothing is stored), which keeps call sites branch-free.  ``ttl_seconds``
+    of ``None`` means entries only leave via LRU pressure or invalidation.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl_seconds: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (value, expiry deadline or None); insertion order is LRU.
+        self._entries: OrderedDict[Hashable, tuple[Any, float | None]] = (
+            OrderedDict()
+        )
+
+    def get(self, key: Hashable) -> tuple[Any, bool]:
+        """Look up ``key``; returns ``(value, hit)``.
+
+        A hit refreshes the entry's LRU position.  An expired entry counts
+        as a miss (and as one ``serve.cache.expired``).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, expires = entry
+                if expires is not None and self._clock() >= expires:
+                    del self._entries[key]
+                    _SIZE.set(len(self._entries))
+                    _EXPIRED.inc()
+                else:
+                    self._entries.move_to_end(key)
+                    _HITS.inc()
+                    return value, True
+            _MISSES.inc()
+            return None, False
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the LRU tail if needed."""
+        if self.max_entries <= 0:
+            return
+        expires = (
+            self._clock() + self.ttl_seconds
+            if self.ttl_seconds is not None
+            else None
+        )
+        with self._lock:
+            self._entries[key] = (value, expires)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                _EVICTIONS.inc()
+            _SIZE.set(len(self._entries))
+
+    def invalidate(self, cube_version: str | None = None) -> int:
+        """Drop entries of ``cube_version`` (all entries when None).
+
+        Returns the number of entries removed.  Version-keyed lookups make
+        this a memory-reclamation step, not a correctness requirement: a
+        swapped-out version's entries could never be served again anyway.
+        """
+        with self._lock:
+            if cube_version is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    key
+                    for key in self._entries
+                    if isinstance(key, tuple) and key[0] == cube_version
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            _SIZE.set(len(self._entries))
+        _INVALIDATED.inc(dropped)
+        return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Current totals (process-wide counters) plus the live size."""
+        return {
+            "size": len(self),
+            "max_entries": self.max_entries,
+            "hits": _HITS.value,
+            "misses": _MISSES.value,
+            "evictions": _EVICTIONS.value,
+            "expired": _EXPIRED.value,
+            "invalidated": _INVALIDATED.value,
+        }

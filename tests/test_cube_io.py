@@ -1,5 +1,6 @@
 """Tests for compressed-cube persistence."""
 
+import gzip
 import json
 
 import pytest
@@ -38,6 +39,61 @@ class TestRoundTrip:
         assert payload["format"] == "repro-skyline-cube/1"
         assert payload["n_objects"] == 5
         assert len(payload["groups"]) == 8
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path, running_example):
+        cube = CompressedSkylineCube.build(running_example)
+        save_cube(cube, tmp_path / "cube.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["cube.json"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path, running_example):
+        cube = CompressedSkylineCube.build(running_example)
+        path = tmp_path / "cube.json"
+        save_cube(cube, path)
+        before = path.read_text()
+        save_cube(cube, path)
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["cube.json"]
+
+
+class TestGzip:
+    def test_gz_suffix_writes_gzip(self, tmp_path, running_example):
+        cube = CompressedSkylineCube.build(running_example)
+        path = tmp_path / "cube.json.gz"
+        save_cube(cube, path)
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        payload = json.loads(gzip.decompress(raw))
+        assert payload["format"] == "repro-skyline-cube/1"
+
+    def test_gzip_round_trip(self, tmp_path, running_example):
+        cube = CompressedSkylineCube.build(running_example)
+        path = tmp_path / "cube.json.gz"
+        save_cube(cube, path)
+        loaded = load_cube(path, running_example)
+        assert [(g.key, g.decisive) for g in loaded.groups] == [
+            (g.key, g.decisive) for g in cube.groups
+        ]
+
+    def test_sniff_ignores_extension(self, tmp_path, running_example):
+        # A gzip stream under a plain .json name still loads: content wins.
+        cube = CompressedSkylineCube.build(running_example)
+        gz = tmp_path / "cube.json.gz"
+        save_cube(cube, gz)
+        plain = tmp_path / "cube.json"
+        plain.write_bytes(gz.read_bytes())
+        loaded = load_cube(plain, running_example)
+        assert len(loaded.groups) == len(cube.groups)
+
+    def test_truncated_gzip_rejected(self, tmp_path, running_example):
+        cube = CompressedSkylineCube.build(running_example)
+        gz = tmp_path / "cube.json.gz"
+        save_cube(cube, gz)
+        torn = tmp_path / "torn.json.gz"
+        torn.write_bytes(gz.read_bytes()[:20])
+        with pytest.raises(ValueError, match="not a cube file"):
+            load_cube(torn, running_example)
 
 
 class TestValidation:
