@@ -1,0 +1,109 @@
+"""Self-test of the serving-latency regression gate: injected regressions
+must trip ``repro bench diff``.
+
+CI proves the gate has teeth before trusting it: this script copies the
+committed ``BENCH_serve.json``, appends a doctored entry whose tail
+latencies are 10x the last real run, and asserts the exact ``bench diff``
+invocation the CI gate uses exits non-zero -- then appends an unchanged
+duplicate and asserts the gate stays green.  A gate that cannot fail is
+indistinguishable from no gate at all.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/loadtest_gate_check.py [--ledger FILE]
+
+Exit status 0 when the gate behaves (trips on the injection, passes on
+the clean duplicate), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+GATE_ONLY = ["*_p99_s", "error_rate", "consistency_violations"]
+GATE_THRESHOLD = "4.0"
+INJECTED_FACTOR = 10.0
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"[gate-check] FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"[gate-check] ok: {message}")
+
+
+def bench_diff(ledger: Path) -> subprocess.CompletedProcess:
+    args = [
+        sys.executable, "-m", "repro", "bench", "diff",
+        "--ledger", str(ledger), "--threshold", GATE_THRESHOLD,
+        "--baseline", "0", "--candidate", "-1",
+    ]
+    for pattern in GATE_ONLY:
+        args += ["--only", pattern]
+    return subprocess.run(args, capture_output=True, text=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ledger",
+        default="BENCH_serve.json",
+        help="committed serving ledger (default ./BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+    source = Path(args.ledger)
+    check(source.exists(), f"committed ledger present: {source}")
+    payload = json.loads(source.read_text())
+    check(
+        bool(payload.get("entries")),
+        f"ledger has {len(payload.get('entries', []))} entrie(s)",
+    )
+
+    with tempfile.TemporaryDirectory(prefix="gate-check-") as tmp:
+        work = Path(tmp) / source.name
+        shutil.copy(source, work)
+
+        # 1. Injected regression: last entry with every p99 multiplied.
+        doctored = json.loads(work.read_text())
+        injected = json.loads(json.dumps(doctored["entries"][-1]))
+        bumped = 0
+        for name in injected["metrics"]:
+            if name.endswith("_p99_s"):
+                injected["metrics"][name] *= INJECTED_FACTOR
+                bumped += 1
+        check(bumped > 0, f"injected {INJECTED_FACTOR}x into {bumped} p99 metrics")
+        doctored["entries"].append(injected)
+        work.write_text(json.dumps(doctored, indent=1) + "\n")
+        tripped = bench_diff(work)
+        sys.stdout.write(tripped.stdout)
+        check(
+            tripped.returncode == 1,
+            f"gate tripped on injected regression (exit {tripped.returncode})",
+        )
+        check("REGRESSION" in tripped.stdout, "regression named in the diff")
+
+        # 2. Clean duplicate: identical numbers must pass the same gate.
+        shutil.copy(source, work)
+        clean = json.loads(work.read_text())
+        clean["entries"].append(
+            json.loads(json.dumps(clean["entries"][-1]))
+        )
+        work.write_text(json.dumps(clean, indent=1) + "\n")
+        steady = bench_diff(work)
+        check(
+            steady.returncode == 0,
+            f"gate stays green on unchanged numbers (exit {steady.returncode})",
+        )
+
+    print("[gate-check] gate behaves: trips on injection, green when steady")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ import platform
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from pathlib import Path
 
 try:
@@ -38,6 +39,7 @@ __all__ = [
     "LEDGER_FORMAT",
     "LedgerEntry",
     "Regression",
+    "normalize_metric",
     "ledger_path",
     "append_entry",
     "load_entries",
@@ -47,6 +49,21 @@ __all__ = [
 ]
 
 LEDGER_FORMAT = "repro-bench-ledger/1"
+
+
+def normalize_metric(value: float) -> float | int:
+    """Canonical numeric form for a ledger metric: integral values as int.
+
+    Appends from different code paths historically mixed ``6`` and ``6.0``
+    for the same metric; normalizing both on write (:meth:`LedgerEntry.
+    to_dict`) and on read (:meth:`LedgerEntry.from_dict`) keeps the JSON
+    file canonical and guarantees ``diff_entries`` never compares two
+    representations of one number.
+    """
+    number = float(value)
+    if number.is_integer():
+        return int(number)
+    return number
 
 
 @dataclass(frozen=True)
@@ -75,7 +92,9 @@ class LedgerEntry:
             "figure": self.figure,
             "scale": self.scale,
             "created": self.created,
-            "metrics": dict(self.metrics),
+            "metrics": {
+                k: normalize_metric(v) for k, v in self.metrics.items()
+            },
             "workload": dict(self.workload),
             "parallel": self.parallel,
             "workers": self.workers,
@@ -90,7 +109,10 @@ class LedgerEntry:
             figure=payload["figure"],
             scale=payload.get("scale", "default"),
             created=float(payload.get("created", 0.0)),
-            metrics={k: float(v) for k, v in payload.get("metrics", {}).items()},
+            metrics={
+                k: normalize_metric(v)
+                for k, v in payload.get("metrics", {}).items()
+            },
             workload=dict(payload.get("workload", {})),
             parallel=payload.get("parallel", "serial"),
             workers=int(payload.get("workers", 1)),
@@ -217,7 +239,10 @@ class Regression:
 
 
 def diff_entries(
-    baseline: LedgerEntry, candidate: LedgerEntry, threshold: float = 0.25
+    baseline: LedgerEntry,
+    candidate: LedgerEntry,
+    threshold: float = 0.25,
+    only: list[str] | None = None,
 ) -> list[Regression]:
     """Compare two entries metric by metric.
 
@@ -225,11 +250,23 @@ def diff_entries(
     (metrics are cost-like, so higher is worse).  Metrics absent from
     either entry are skipped; a zero baseline with a non-zero candidate is
     reported with an infinite ratio.  Returns every shared metric, flagged.
+
+    ``only`` restricts the comparison to metrics matching at least one of
+    the given shell-style globs (e.g. ``["*_p99_s", "error_rate"]``) --
+    the serving-latency gate uses this to gate tail latency without
+    tripping on deliberately noisy companions like the shed rate.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
+    shared = sorted(set(baseline.metrics) & set(candidate.metrics))
+    if only:
+        shared = [
+            metric
+            for metric in shared
+            if any(fnmatch(metric, pattern) for pattern in only)
+        ]
     out: list[Regression] = []
-    for metric in sorted(set(baseline.metrics) & set(candidate.metrics)):
+    for metric in shared:
         base = baseline.metrics[metric]
         cand = candidate.metrics[metric]
         if base == 0:

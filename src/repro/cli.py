@@ -29,7 +29,15 @@ Subcommands
 ``serve``
     Serve published cube snapshots over HTTP/JSON: versioned snapshot
     store, result cache, admission control with load shedding, plus the
-    ``/metrics`` and ``/healthz`` endpoints (see docs/SERVING.md).
+    ``/metrics`` and ``/healthz`` endpoints (see docs/SERVING.md).  A
+    background sampler keeps the ``slo.*`` gauges (compliance, error
+    budget, burn rates) fresh on ``/metrics``.
+``loadtest``
+    Open-loop zipfian load harness against a serving endpoint (or a
+    self-hosted one): per-endpoint latency percentiles, shed rate,
+    cache-hit ratio, SLO/error-budget report, fitted capacity model,
+    soak-mode consistency audit; appends to the ``BENCH_serve.json``
+    ledger for ``bench diff`` regression gating.
 
 Every subcommand additionally accepts the observability flags
 ``--trace[=FILE]``, ``--metrics``, ``--profile``, ``--log-json[=LEVEL]``,
@@ -330,6 +338,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRAC",
         help="flag metrics that grew by more than FRAC (default 0.25 = +25%%)",
     )
+    ledger.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help="compare only metrics matching this glob (repeatable), e.g. "
+        "--only '*_p99_s' for the serving-latency gate",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -420,6 +436,150 @@ def build_parser() -> argparse.ArgumentParser:
         help="load every snapshot's active version at startup instead of "
         "lazily on first request",
     )
+    p_serve.add_argument(
+        "--slo-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how often the SLO sampler refreshes the slo.* gauges on "
+        "/metrics (0 disables; default 5)",
+    )
+    p_serve.add_argument(
+        "--slo-threshold-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="per-endpoint latency-SLO threshold (default 250)",
+    )
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="open-loop load harness against a serving endpoint",
+        parents=[obs],
+    )
+    p_load.add_argument(
+        "--dataset",
+        required=True,
+        metavar="CSV",
+        help="dataset CSV shaping the workload (and served by the "
+        "self-hosted server when --url is omitted)",
+    )
+    p_load.add_argument(
+        "--url",
+        default=None,
+        help="target server base URL; omitted = self-host an in-process "
+        "server over the dataset",
+    )
+    p_load.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="run length (default 10)",
+    )
+    p_load.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="RPS",
+        help="open-loop arrival rate (default 50 req/s)",
+    )
+    p_load.add_argument(
+        "--workers",
+        type=int,
+        default=16,
+        metavar="N",
+        help="client threads issuing scheduled requests (default 16)",
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default 0)"
+    )
+    p_load.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline sent with every query (server default "
+        "when omitted)",
+    )
+    p_load.add_argument(
+        "--churn-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="soak mode: one maintenance insert/delete per interval "
+        "(0 = no churn; default 0)",
+    )
+    p_load.add_argument(
+        "--publish-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="soak mode: hot-reload a fresh snapshot version per interval "
+        "(0 = never; default 0)",
+    )
+    p_load.add_argument(
+        "--snapshot",
+        default="loadtest",
+        metavar="NAME",
+        help="snapshot name to target/publish (default 'loadtest')",
+    )
+    p_load.add_argument(
+        "--slo-threshold-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="client-side latency-SLO threshold (default 250)",
+    )
+    p_load.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.99,
+        metavar="FRAC",
+        help="latency-SLO compliance target (default 0.99)",
+    )
+    p_load.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="self-hosted server concurrency bound (default 8)",
+    )
+    p_load.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="self-hosted server result-cache entries (default 1024)",
+    )
+    p_load.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON report here",
+    )
+    p_load.add_argument(
+        "--scale",
+        default="smoke",
+        help="ledger scale tag for like-for-like diffs (default smoke)",
+    )
+    p_load.add_argument(
+        "--ledger-dir",
+        default=".",
+        metavar="DIR",
+        help="directory of BENCH_serve.json (default cwd)",
+    )
+    p_load.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending this run to BENCH_serve.json",
+    )
+    p_load.add_argument(
+        "--fail-on-slo",
+        action="store_true",
+        help="exit non-zero when any SLO with traffic is violated "
+        "(consistency violations always fail the run)",
+    )
 
     p_flight = sub.add_parser(
         "flight", help="flight-recorder utilities", parents=[obs]
@@ -456,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "flight": _cmd_flight,
         "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }[args.command]
     return _with_telemetry(handler, args)
 
@@ -597,6 +758,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name in service.preload():
             print(f"preloaded {name}")
 
+    sampler = None
+    if args.slo_interval > 0:
+        from .obs.slo import SLOEngine, SLOSampler, default_serving_slos
+
+        engine = SLOEngine(
+            default_serving_slos(
+                latency_threshold_seconds=args.slo_threshold_ms / 1e3
+            )
+        )
+        sampler = SLOSampler(engine, interval=args.slo_interval).start()
+
     names = store.names()
     server = start_server(service, host=args.host, port=args.port)
     print(
@@ -610,7 +782,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if sampler is not None:
+            sampler.stop()
         server.close()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from .data import load_csv
+    from .loadtest import (
+        LoadtestConfig,
+        report_entry,
+        run_loadtest,
+        summarize,
+    )
+
+    try:
+        dataset = load_csv(args.dataset)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    csv_text = Path(args.dataset).read_text()
+    try:
+        config = LoadtestConfig(
+            duration_seconds=args.duration,
+            rate_rps=args.rate,
+            workers=args.workers,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            churn_interval=args.churn_interval,
+            publish_interval=args.publish_interval,
+            snapshot=args.snapshot,
+            slo_threshold_seconds=args.slo_threshold_ms / 1e3,
+            slo_target=args.slo_target,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    server = None
+    if args.url:
+        url = args.url
+        # Against an external server, only publish (and therefore own the
+        # consistency oracle) when the run actually mutates it.
+        soak = bool(args.churn_interval or args.publish_interval)
+        csv_text = csv_text if soak else None
+    else:
+        import tempfile
+
+        from .serve import (
+            AdmissionController,
+            CubeService,
+            ResultCache,
+            SnapshotStore,
+            start_server,
+        )
+
+        tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+        service = CubeService(
+            SnapshotStore(Path(tmp.name) / "snapshots"),
+            cache=ResultCache(max_entries=args.cache_size),
+            admission=AdmissionController(
+                max_concurrency=args.max_concurrency
+            ),
+            default_snapshot=args.snapshot,
+            reload_interval=0.1,
+        )
+        server = start_server(service)
+        url = server.url
+        print(f"self-hosting {args.dataset} at {url}")
+
+    try:
+        result = run_loadtest(url, dataset, config, csv_text=csv_text)
+    finally:
+        if server is not None:
+            server.close()
+    report = summarize(result)
+    print(report.render())
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=1) + "\n"
+        )
+        print(f"report written to {args.report}")
+    if not args.no_ledger:
+        from .bench.ledger import append_entry, ledger_path
+
+        path = ledger_path(args.ledger_dir, "serve")
+        index = append_entry(path, report_entry(report, scale=args.scale))
+        print(f"ledger entry {index} appended to {path}")
+
+    if report.consistency_violations:
+        print(
+            f"FAIL: {report.consistency_violations} consistency violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.fail_on_slo and not report.slo.ok:
+        print("FAIL: SLO violated (--fail-on-slo)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -994,10 +1266,19 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     try:
-        diffs = diff_entries(baseline, candidate, args.threshold)
+        diffs = diff_entries(baseline, candidate, args.threshold, only=args.only)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.only and not diffs:
+        print(
+            f"error: no shared metrics match {args.only} "
+            "(nothing would be gated)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.only:
+        print(f"(metrics filtered to {', '.join(args.only)})")
     print(render_diff(baseline, candidate, diffs, args.threshold))
     return 1 if any(d.regressed for d in diffs) else 0
 

@@ -1,0 +1,45 @@
+"""Open-loop load harness for the query-serving stack (:mod:`repro.serve`).
+
+``repro loadtest`` replays a zipfian query mix -- hot subspace skylines,
+long-tail why-not probes, optional maintenance churn -- against a live
+:class:`~repro.serve.app.CubeService` and reports what an operator needs
+to size the deployment: per-endpoint p50/p95/p99 latency, shed rate,
+cache-hit ratio, an SLO/error-budget evaluation of the run, a fitted
+capacity model, and (for soak runs) a version-consistency audit of every
+response against a client-side oracle.  Runs append to the
+``BENCH_serve.json`` ledger so ``repro bench diff --only '*_p99_s'`` can
+gate serving-latency regressions in CI.
+
+The generator is *open loop*: arrivals follow a Poisson schedule fixed by
+``--rate`` and never wait for completions, so latency percentiles include
+any queueing the server induces (no coordinated omission).
+"""
+
+from .report import (
+    CapacityModel,
+    EndpointStats,
+    LoadtestReport,
+    fit_capacity,
+    percentile,
+    report_entry,
+    summarize,
+)
+from .runner import LoadtestConfig, LoadtestResult, RequestRecord, run_loadtest
+from .workload import Request, WorkloadMix, zipf_weights
+
+__all__ = [
+    "CapacityModel",
+    "EndpointStats",
+    "LoadtestConfig",
+    "LoadtestReport",
+    "LoadtestResult",
+    "Request",
+    "RequestRecord",
+    "WorkloadMix",
+    "fit_capacity",
+    "percentile",
+    "report_entry",
+    "run_loadtest",
+    "summarize",
+    "zipf_weights",
+]

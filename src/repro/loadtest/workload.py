@@ -1,0 +1,141 @@
+"""Zipfian query-mix generation for the load harness.
+
+A :class:`WorkloadMix` is built once from the dataset being served and
+then asked for one :class:`Request` at a time.  Subspace popularity is
+zipfian: a few *hot* subspaces absorb most skyline traffic (they exercise
+the result cache), while the tail spreads across the remaining
+``2^d - 1`` subspaces and the object-centric endpoints (where-wins,
+why-not, signature) probe mostly long-tail labels -- the mix the paper's
+query workloads imply and the one that makes cache-hit ratio a meaningful
+output rather than an artifact of uniform sampling.
+
+Everything is driven by one :class:`random.Random` owned by the caller,
+so a seed pins the whole request sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.types import Dataset
+
+__all__ = ["Request", "WorkloadMix", "zipf_weights", "DEFAULT_KIND_WEIGHTS"]
+
+#: Relative frequency of each query kind in the generated stream.  Skyline
+#: dominates (the cacheable hot path); why-not is the expensive long-tail
+#: probe; the rest add coverage of every GET endpoint the service exposes.
+DEFAULT_KIND_WEIGHTS: dict[str, float] = {
+    "skyline": 0.55,
+    "why-not": 0.15,
+    "where-wins": 0.10,
+    "wins-in": 0.08,
+    "signature": 0.07,
+    "top-frequent": 0.05,
+}
+
+
+def zipf_weights(n: int, s: float = 1.1) -> list[float]:
+    """Normalized zipf(s) probabilities over ranks ``1..n``."""
+    if n < 1:
+        raise ValueError(f"need at least one rank, got {n}")
+    if s <= 0:
+        raise ValueError(f"zipf exponent must be positive, got {s}")
+    raw = [1.0 / (rank**s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generated request: a GET query against the serving API."""
+
+    kind: str
+    params: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        """The serve API path for this request's kind."""
+        return f"/v1/{self.kind}"
+
+
+class WorkloadMix:
+    """Request generator over one dataset's subspaces and labels."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        kind_weights: dict[str, float] | None = None,
+        zipf_s: float = 1.1,
+        hot_fraction: float = 0.2,
+    ):
+        if dataset.n_dims < 1 or dataset.n_objects < 1:
+            raise ValueError("workload needs a non-empty dataset")
+        self.dataset = dataset
+        weights = dict(kind_weights or DEFAULT_KIND_WEIGHTS)
+        if not weights or any(w < 0 for w in weights.values()):
+            raise ValueError(f"bad kind weights: {weights}")
+        self.kinds = sorted(weights)
+        self.kind_weights = [weights[k] for k in self.kinds]
+        # Subspaces ranked by a deterministic shuffle of all non-empty
+        # masks (seeded by the dataset shape so two harnesses over the
+        # same data agree), with zipf(s) popularity over the ranking.
+        n_subspaces = (1 << dataset.n_dims) - 1
+        ranker = random.Random(dataset.n_dims * 1_000_003 + dataset.n_objects)
+        self.subspaces = list(range(1, n_subspaces + 1))
+        ranker.shuffle(self.subspaces)
+        self.subspace_weights = zipf_weights(n_subspaces, zipf_s)
+        #: The "hot set": the top-ranked subspaces that soak up most of
+        #: the zipfian mass; reported so operators can relate cache-hit
+        #: ratio to working-set size.
+        self.hot_subspaces = self.subspaces[
+            : max(1, int(len(self.subspaces) * hot_fraction))
+        ]
+        self.labels = list(dataset.labels)
+
+    # -- sampling ----------------------------------------------------------
+
+    def _subspace(self, rng: random.Random) -> str:
+        (mask,) = rng.choices(self.subspaces, weights=self.subspace_weights)
+        return self.dataset.format_subspace(mask)
+
+    def _label(self, rng: random.Random) -> str:
+        # Object probes lean long-tail: uniform over labels, which for a
+        # zipfian-cached server is mostly cache misses -- by design.
+        return rng.choice(self.labels)
+
+    def generate(self, rng: random.Random) -> Request:
+        """One request, drawn from the configured kind and subspace mixes."""
+        (kind,) = rng.choices(self.kinds, weights=self.kind_weights)
+        if kind == "skyline":
+            return Request(kind, {"subspace": self._subspace(rng)})
+        if kind == "why-not":
+            return Request(
+                kind,
+                {"label": self._label(rng), "subspace": self._subspace(rng)},
+            )
+        if kind == "wins-in":
+            return Request(
+                kind,
+                {"label": self._label(rng), "subspace": self._subspace(rng)},
+            )
+        if kind == "where-wins":
+            return Request(kind, {"label": self._label(rng)})
+        if kind == "signature":
+            return Request(kind, {"label": self._label(rng)})
+        if kind == "top-frequent":
+            k = rng.randint(1, min(5, len(self.labels)))
+            return Request(kind, {"k": str(k)})
+        raise ValueError(f"unknown query kind in mix: {kind!r}")
+
+    def churn_row(self, rng: random.Random, index: int) -> tuple[list[float], str]:
+        """One synthetic insert for maintenance churn: a row drawn inside
+        the dataset's per-dimension value range, labelled ``LT-<index>``
+        so the harness can delete it again and the oracle can track it."""
+        lo = self.dataset.values.min(axis=0)
+        hi = self.dataset.values.max(axis=0)
+        row = [
+            float(rng.uniform(lo[d], hi[d]))
+            for d in range(self.dataset.n_dims)
+        ]
+        return row, f"LT-{index}"

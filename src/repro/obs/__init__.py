@@ -83,6 +83,16 @@ from .promexport import (
     render_prometheus,
     start_metrics_server,
 )
+from .slo import (
+    SLO,
+    SLOEngine,
+    SLOReport,
+    SLOSampler,
+    SLOStatus,
+    availability_slo,
+    default_serving_slos,
+    latency_slo,
+)
 from .slowlog import (
     SlowQuery,
     SlowQueryLog,
@@ -150,6 +160,15 @@ __all__ = [
     "render_prometheus",
     "MetricsServer",
     "start_metrics_server",
+    # SLOs
+    "SLO",
+    "SLOEngine",
+    "SLOReport",
+    "SLOSampler",
+    "SLOStatus",
+    "latency_slo",
+    "availability_slo",
+    "default_serving_slos",
     # slow-query log
     "SlowQuery",
     "SlowQueryLog",

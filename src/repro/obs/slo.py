@@ -1,0 +1,541 @@
+"""Service-level objectives: declarative targets, error budgets, burn rates.
+
+An :class:`SLO` declares what "good" means for one signal -- a latency
+objective ("99% of skyline requests complete within 100 ms") or an
+availability objective ("99.9% of admitted-or-shed requests are not
+shed") -- over metrics that already live in the
+:class:`~repro.obs.metrics.MetricsRegistry`.  The :class:`SLOEngine`
+turns those cumulative metrics into SRE-style accounting:
+
+* **compliance** -- the good/total ratio, both lifetime and over sliding
+  windows reconstructed from periodic snapshots of the registry;
+* **error budget** -- with target ``t``, a fraction ``1 - t`` of events
+  may be bad; the engine reports how much of that budget the lifetime
+  traffic has consumed and how much remains;
+* **burn rate** -- per window, the bad-event rate divided by the budgeted
+  bad-event rate (the multi-window burn-rate signal of the Google SRE
+  workbook: a burn rate of 1.0 exactly exhausts the budget at the end of
+  the SLO period, 10x exhausts it 10x faster).
+
+Latency objectives are evaluated from *histogram buckets*, not from
+interpolated quantiles: the good count at threshold ``T`` is the
+cumulative count of the buckets whose upper bound is ``<= T`` (the same
+series the Prometheus endpoint exports with ``le`` labels), so the engine
+and an external Grafana panel agree by construction.  The threshold is
+snapped down to the nearest bucket bound; :attr:`SLO.effective_threshold`
+reports the snap.
+
+Every :meth:`SLOEngine.sample` also publishes ``slo.*`` gauges into the
+registry (``slo.<name>.compliance``, ``slo.<name>.budget_remaining``,
+``slo.<name>.burn_rate.<window>``, ...), so the existing Prometheus
+endpoint exposes the accounting with no extra wiring.  The
+:class:`SLOSampler` thread does this periodically for a live server; the
+load harness (:mod:`repro.loadtest`) drives an engine over its own
+client-side measurements and embeds the report in its output.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .metrics import MetricsRegistry, registry
+
+__all__ = [
+    "SLO",
+    "latency_slo",
+    "availability_slo",
+    "default_serving_slos",
+    "WindowStats",
+    "SLOStatus",
+    "SLOReport",
+    "SLOEngine",
+    "SLOSampler",
+    "format_window",
+]
+
+#: Default sliding windows, in seconds: one minute, five minutes, one hour.
+DEFAULT_WINDOWS: tuple[float, ...] = (60.0, 300.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over registry metrics.
+
+    ``kind`` is ``"latency"`` (good = histogram observations at or under
+    ``threshold_seconds``) or ``"availability"`` (good = ``total`` counter
+    sum minus ``bad`` counter sum).  ``target`` is the required good/total
+    ratio in ``(0, 1)``; everything else is identity and bookkeeping.
+    """
+
+    name: str
+    kind: str
+    target: float
+    description: str = ""
+    #: latency objectives: registry histogram + inclusive threshold.
+    histogram: str = ""
+    threshold_seconds: float = 0.0
+    #: availability objectives: counter names summed into total/bad events.
+    total_counters: tuple[str, ...] = ()
+    bad_counters: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(
+                f"SLO kind must be 'latency' or 'availability', got {self.kind!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if self.kind == "latency":
+            if not self.histogram or self.threshold_seconds <= 0:
+                raise ValueError(
+                    "latency SLO needs a histogram name and a positive "
+                    "threshold_seconds"
+                )
+        elif not self.total_counters:
+            raise ValueError("availability SLO needs total_counters")
+
+    @property
+    def budget_fraction(self) -> float:
+        """The fraction of events allowed to be bad (``1 - target``)."""
+        return 1.0 - self.target
+
+    def effective_threshold(self, reg: MetricsRegistry) -> float:
+        """The threshold after snapping down to a histogram bucket bound.
+
+        Bucket evaluation can only answer "how many observations were
+        ``<= bound``"; a threshold between bounds is therefore evaluated
+        at the largest bound not exceeding it (0.0 when the threshold is
+        below every bound, i.e. nothing can count as good).
+        """
+        if self.kind != "latency":
+            return 0.0
+        bounds = reg.histogram(self.histogram).bounds
+        i = bisect_right(bounds, self.threshold_seconds)
+        return bounds[i - 1] if i else 0.0
+
+
+def latency_slo(
+    name: str,
+    histogram: str,
+    threshold_seconds: float,
+    target: float = 0.99,
+    description: str = "",
+) -> SLO:
+    """A latency objective: ``target`` of observations within the threshold."""
+    return SLO(
+        name=name,
+        kind="latency",
+        target=target,
+        description=description,
+        histogram=histogram,
+        threshold_seconds=threshold_seconds,
+    )
+
+
+def availability_slo(
+    name: str,
+    total_counters: tuple[str, ...],
+    bad_counters: tuple[str, ...],
+    target: float = 0.999,
+    description: str = "",
+) -> SLO:
+    """An availability objective: bad events bounded to ``1 - target``."""
+    return SLO(
+        name=name,
+        kind="availability",
+        target=target,
+        description=description,
+        total_counters=tuple(total_counters),
+        bad_counters=tuple(bad_counters),
+    )
+
+
+def default_serving_slos(
+    kinds: tuple[str, ...] = (
+        "skyline",
+        "where-wins",
+        "wins-in",
+        "why-not",
+        "signature",
+        "top-frequent",
+    ),
+    latency_threshold_seconds: float = 0.25,
+    latency_target: float = 0.99,
+    availability_target: float = 0.999,
+) -> list[SLO]:
+    """The stock objectives for the serving stack (:mod:`repro.serve`).
+
+    One latency SLO per query kind over the per-endpoint histograms
+    ``serve.request.<kind>.seconds``, plus one availability SLO holding
+    the shed rate (``serve.shed`` out of admitted + shed) to
+    ``1 - availability_target``.
+    """
+    slos = [
+        latency_slo(
+            f"latency.{kind}",
+            f"serve.request.{kind}.seconds",
+            latency_threshold_seconds,
+            target=latency_target,
+            description=f"{kind} requests within "
+            f"{latency_threshold_seconds * 1e3:g} ms",
+        )
+        for kind in kinds
+    ]
+    slos.append(
+        availability_slo(
+            "availability",
+            total_counters=("serve.admitted", "serve.shed"),
+            bad_counters=("serve.shed",),
+            target=availability_target,
+            description="requests not shed by admission control",
+        )
+    )
+    return slos
+
+
+def format_window(seconds: float) -> str:
+    """A compact label for a window length: ``60 -> "1m"``, ``3600 -> "1h"``."""
+    if seconds % 3600 == 0:
+        return f"{int(seconds // 3600)}h"
+    if seconds % 60 == 0:
+        return f"{int(seconds // 60)}m"
+    return f"{seconds:g}s"
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Good/total accounting of one SLO over one sliding window."""
+
+    window_seconds: float
+    span_seconds: float  # the span actually covered by snapshots
+    good: int
+    total: int
+    compliance: float  # 1.0 when total == 0 (no traffic, no violation)
+    burn_rate: float  # bad fraction / budget fraction; 0.0 when no traffic
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "window": format_window(self.window_seconds),
+            "window_seconds": self.window_seconds,
+            "span_seconds": round(self.span_seconds, 3),
+            "good": self.good,
+            "total": self.total,
+            "compliance": round(self.compliance, 6),
+            "burn_rate": round(self.burn_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """The full accounting of one SLO at one sample instant."""
+
+    slo: SLO
+    effective_threshold: float
+    good: int
+    total: int
+    compliance: float
+    budget_consumed: float  # fraction of the lifetime error budget used
+    budget_remaining: float  # 1 - consumed; negative once blown
+    met: bool
+    windows: tuple[WindowStats, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (what the loadtest report embeds)."""
+        payload = {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "target": self.slo.target,
+            "description": self.slo.description,
+            "good": self.good,
+            "total": self.total,
+            "compliance": round(self.compliance, 6),
+            "budget_consumed": round(self.budget_consumed, 4),
+            "budget_remaining": round(self.budget_remaining, 4),
+            "met": self.met,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+        if self.slo.kind == "latency":
+            payload["threshold_seconds"] = self.slo.threshold_seconds
+            payload["effective_threshold_seconds"] = self.effective_threshold
+        return payload
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One engine evaluation: every SLO's status at a single instant."""
+
+    created: float
+    statuses: tuple[SLOStatus, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when every objective with traffic is currently met."""
+        return all(s.met for s in self.statuses)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "created": self.created,
+            "ok": self.ok,
+            "slos": [s.to_dict() for s in self.statuses],
+        }
+
+    def render(self) -> str:
+        """Human-readable report (the loadtest summary output)."""
+        lines = [f"SLO report: {'OK' if self.ok else 'VIOLATED'}"]
+        for s in self.statuses:
+            flag = "met" if s.met else "VIOLATED"
+            head = (
+                f"  {s.slo.name} [{s.slo.kind}] target {s.slo.target:.4g}: "
+                f"{s.good}/{s.total} good "
+                f"(compliance {s.compliance:.4f}) -- {flag}"
+            )
+            if s.slo.kind == "latency":
+                head += f" @ <= {s.effective_threshold * 1e3:g} ms"
+            lines.append(head)
+            lines.append(
+                f"    error budget: {s.budget_consumed * 100:.1f}% consumed, "
+                f"{s.budget_remaining * 100:.1f}% remaining"
+            )
+            for w in s.windows:
+                lines.append(
+                    f"    {format_window(w.window_seconds):>4}: "
+                    f"{w.good}/{w.total} good, "
+                    f"burn rate {w.burn_rate:.2f}"
+                )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """Cumulative (good, total) per SLO name at one instant."""
+
+    at: float
+    values: dict[str, tuple[int, int]]
+
+
+class SLOEngine:
+    """Windowed SLO accounting over a metrics registry.
+
+    Call :meth:`sample` periodically (directly, or via an
+    :class:`SLOSampler` thread); each call snapshots the cumulative
+    good/total counts of every SLO, prunes history beyond the longest
+    window, refreshes the ``slo.*`` gauges, and returns the current
+    :class:`SLOReport`.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        slos: list[SLO],
+        windows: tuple[float, ...] = DEFAULT_WINDOWS,
+        reg: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not slos:
+            raise ValueError("SLOEngine needs at least one SLO")
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        if not windows or any(w <= 0 for w in windows):
+            raise ValueError(f"windows must be positive, got {windows}")
+        self.slos = list(slos)
+        self.windows = tuple(sorted(windows))
+        self._reg = reg
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._history: list[_Snapshot] = []
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry the objectives are evaluated against."""
+        return self._reg if self._reg is not None else registry()
+
+    # -- measurement -------------------------------------------------------
+
+    def _read(self, slo: SLO) -> tuple[int, int]:
+        """Cumulative (good, total) events of one SLO right now."""
+        reg = self.registry
+        if slo.kind == "latency":
+            hist = reg.histogram(slo.histogram)
+            k = bisect_right(hist.bounds, slo.threshold_seconds)
+            with hist._lock:
+                good = sum(hist.counts[:k])
+                total = hist.count
+            return good, total
+        total = sum(reg.counter(n).value for n in slo.total_counters)
+        bad = sum(reg.counter(n).value for n in slo.bad_counters)
+        return max(total - bad, 0), total
+
+    def sample(self) -> SLOReport:
+        """Snapshot every SLO, update gauges and history, return the report."""
+        now = self._clock()
+        values = {slo.name: self._read(slo) for slo in self.slos}
+        with self._lock:
+            self._history.append(_Snapshot(at=now, values=values))
+            horizon = now - max(self.windows)
+            # Keep one snapshot at or before the horizon as the baseline
+            # of the longest window.
+            while (
+                len(self._history) >= 2 and self._history[1].at <= horizon
+            ):
+                self._history.pop(0)
+            history = list(self._history)
+        report = self._evaluate(now, values, history)
+        self._export(report)
+        return report
+
+    def report(self) -> SLOReport:
+        """The current report without recording a new snapshot."""
+        now = self._clock()
+        values = {slo.name: self._read(slo) for slo in self.slos}
+        with self._lock:
+            history = list(self._history)
+        return self._evaluate(now, values, history)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _evaluate(
+        self,
+        now: float,
+        values: dict[str, tuple[int, int]],
+        history: list[_Snapshot],
+    ) -> SLOReport:
+        statuses = []
+        for slo in self.slos:
+            good, total = values[slo.name]
+            compliance = good / total if total else 1.0
+            bad = total - good
+            budget_events = total * slo.budget_fraction
+            consumed = bad / budget_events if budget_events > 0 else 0.0
+            windows = tuple(
+                self._window(slo, w, now, good, total, history)
+                for w in self.windows
+            )
+            statuses.append(
+                SLOStatus(
+                    slo=slo,
+                    effective_threshold=slo.effective_threshold(self.registry),
+                    good=good,
+                    total=total,
+                    compliance=compliance,
+                    budget_consumed=consumed,
+                    budget_remaining=1.0 - consumed,
+                    met=compliance >= slo.target,
+                    windows=windows,
+                )
+            )
+        return SLOReport(created=time.time(), statuses=tuple(statuses))
+
+    def _window(
+        self,
+        slo: SLO,
+        window: float,
+        now: float,
+        good_now: int,
+        total_now: int,
+        history: list[_Snapshot],
+    ) -> WindowStats:
+        """Delta accounting of ``slo`` over the trailing ``window`` seconds.
+
+        The baseline is the newest snapshot at least ``window`` old; when
+        the engine has not been running that long, the oldest snapshot is
+        used and ``span_seconds`` reports the shorter span actually
+        covered (0 with no history: the window then equals the lifetime).
+        """
+        baseline: _Snapshot | None = None
+        for snap in history:
+            if snap.at <= now - window:
+                baseline = snap
+            else:
+                break
+        if baseline is None and history:
+            baseline = history[0]
+        good0, total0 = (
+            baseline.values.get(slo.name, (0, 0)) if baseline else (0, 0)
+        )
+        good = max(good_now - good0, 0)
+        total = max(total_now - total0, 0)
+        compliance = good / total if total else 1.0
+        burn = (
+            ((total - good) / total) / slo.budget_fraction if total else 0.0
+        )
+        return WindowStats(
+            window_seconds=window,
+            span_seconds=now - baseline.at if baseline else 0.0,
+            good=good,
+            total=total,
+            compliance=compliance,
+            burn_rate=burn,
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def _export(self, report: SLOReport) -> None:
+        """Publish the report as ``slo.*`` gauges in the registry."""
+        reg = self.registry
+        for s in report.statuses:
+            base = f"slo.{s.slo.name}"
+            reg.gauge(f"{base}.target").set(s.slo.target)
+            reg.gauge(f"{base}.compliance").set(s.compliance)
+            reg.gauge(f"{base}.budget_remaining").set(s.budget_remaining)
+            reg.gauge(f"{base}.good_total").set(s.good)
+            reg.gauge(f"{base}.events_total").set(s.total)
+            reg.gauge(f"{base}.met").set(1.0 if s.met else 0.0)
+            for w in s.windows:
+                label = format_window(w.window_seconds)
+                reg.gauge(f"{base}.burn_rate.{label}").set(w.burn_rate)
+                reg.gauge(f"{base}.compliance.{label}").set(w.compliance)
+
+
+class SLOSampler:
+    """A daemon thread driving :meth:`SLOEngine.sample` periodically.
+
+    ``repro serve`` runs one so the ``slo.*`` gauges on ``/metrics`` stay
+    fresh without any request-path work.  Stop is idempotent; the thread
+    samples once more on stop so short-lived processes still export.
+    """
+
+    def __init__(self, engine: SLOEngine, interval: float = 5.0):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.engine = engine
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "SLOSampler":
+        """Begin sampling (records one snapshot immediately)."""
+        if self._thread is not None:
+            return self
+        self.engine.sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-slo-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.engine.sample()
+
+    def stop(self) -> None:
+        """Stop the thread and record one final snapshot."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+        self.engine.sample()
+
+    def __enter__(self) -> "SLOSampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

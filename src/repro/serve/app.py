@@ -62,6 +62,23 @@ _REQUEST_SECONDS = registry().histogram("serve.request.seconds")
 _SWAPS = registry().counter("serve.snapshot.swaps")
 _INSERTS = registry().counter("serve.maintenance.inserts")
 _DELETES = registry().counter("serve.maintenance.deletes")
+#: Deadline budget left when the request finished: the headroom signal the
+#: SLO layer watches (shrinking remaining time predicts timeout sheds).
+_DEADLINE_REMAINING = registry().histogram("serve.deadline.remaining_seconds")
+_DEADLINE_LAST = registry().gauge("serve.deadline.last_remaining_seconds")
+
+#: kind -> per-endpoint latency histogram (``serve.request.<kind>.seconds``),
+#: cached so the hot path does one dict lookup, not a registry get-or-create.
+_KIND_SECONDS: dict[str, object] = {}
+
+
+def _kind_seconds(kind: str):
+    hist = _KIND_SECONDS.get(kind)
+    if hist is None:
+        hist = _KIND_SECONDS[kind] = registry().histogram(
+            f"serve.request.{kind}.seconds"
+        )
+    return hist
 
 
 class UnknownSnapshotError(LookupError):
@@ -85,6 +102,10 @@ class _Serving:
     engine: QueryEngine
     maintained: MaintainedCube | None
     info: SnapshotInfo
+    #: ``time.monotonic()`` when this generation went live -- the health
+    #: endpoint reports ``now - activated_at`` as snapshot staleness, which
+    #: is how operators spot a hot reload that stopped firing.
+    activated_at: float = 0.0
 
     @property
     def cube_version(self) -> str:
@@ -237,6 +258,10 @@ class CubeService:
                 sp.annotate(cached=cached, cube_version=state.cube_version)
             _REQUESTS.inc()
             _REQUEST_SECONDS.observe(seconds)
+            _kind_seconds(kind).observe(seconds)
+            remaining = max(deadline.remaining(), 0.0)
+            _DEADLINE_REMAINING.observe(remaining)
+            _DEADLINE_LAST.set(remaining)
             _LOG.debug(
                 "serve.query",
                 extra={
@@ -300,6 +325,7 @@ class CubeService:
             engine=QueryEngine(maintained.cube),
             maintained=maintained,
             info=state.info,
+            activated_at=time.monotonic(),
         )
         with self._lock:
             self._states[state.name] = new_state
@@ -385,15 +411,37 @@ class CubeService:
         return names
 
     def health(self) -> dict:
-        """The ``/healthz`` document."""
+        """The ``/healthz`` document.
+
+        Each loaded snapshot reports its active ``cube_version`` plus two
+        ages: ``staleness_seconds`` since this generation went live (a
+        generation that never advances while versions are being published
+        means hot reload is stuck) and ``checked_age_seconds`` since the
+        store's ``CURRENT`` pointer was last consulted (should stay under
+        ``reload_interval`` while traffic flows; ``None`` before the first
+        check completes).
+        """
+        now = time.monotonic()
         with self._lock:
-            loaded = {
-                name: state.cube_version
-                for name, state in self._states.items()
+            states = dict(self._states)
+            checked = dict(self._checked)
+        snapshots = {}
+        for name, state in states.items():
+            checked_at = checked.get(name)
+            snapshots[name] = {
+                "cube_version": state.cube_version,
+                "base_version": state.base_version,
+                "mutations": state.mutations,
+                "staleness_seconds": round(now - state.activated_at, 3),
+                "checked_age_seconds": (
+                    round(now - checked_at, 3)
+                    if checked_at is not None
+                    else None
+                ),
             }
         return {
             "status": "ok",
-            "snapshots": loaded,
+            "snapshots": snapshots,
             "cache": self.cache.stats(),
             "inflight": self.admission.inflight,
             "waiting": self.admission.waiting,
@@ -479,6 +527,7 @@ class CubeService:
                     engine=QueryEngine(cube),
                     maintained=None,
                     info=info,
+                    activated_at=time.monotonic(),
                 )
                 old_version = state.cube_version if state else None
                 with self._lock:

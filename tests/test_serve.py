@@ -365,7 +365,126 @@ class TestCubeService:
 
     def test_preload(self, service):
         assert service.preload() == ["routes"]
-        assert service.health()["snapshots"] == {"routes": "routes@v000001"}
+        health = service.health()
+        assert set(health["snapshots"]) == {"routes"}
+        assert health["snapshots"]["routes"]["cube_version"] == "routes@v000001"
+
+    def test_healthz_reports_staleness(self, service):
+        service.query("skyline", {"subspace": "price"})
+        entry = service.health()["snapshots"]["routes"]
+        assert entry["cube_version"] == "routes@v000001"
+        assert entry["base_version"] == "v000001"
+        assert entry["mutations"] == 0
+        assert 0 <= entry["staleness_seconds"] < 60
+        assert 0 <= entry["checked_age_seconds"] < 60
+
+    def test_healthz_staleness_resets_on_mutation(self, service):
+        service.query("skyline", {"subspace": "price"})
+        time.sleep(0.05)
+        before = service.health()["snapshots"]["routes"]["staleness_seconds"]
+        service.maintenance_insert([100.0, 5.0, 0.0], label="CHEAP")
+        entry = service.health()["snapshots"]["routes"]
+        assert entry["mutations"] == 1
+        assert entry["staleness_seconds"] < before
+
+    def test_per_endpoint_latency_histograms(self, service):
+        from repro.obs import registry
+
+        hist = registry().histogram("serve.request.skyline.seconds")
+        why_not = registry().histogram("serve.request.why-not.seconds")
+        before, before_why = hist.count, why_not.count
+        service.query("skyline", {"subspace": "price"})
+        service.query("skyline", {"subspace": "price,stops"})
+        service.query("why-not", {"label": "SLOW-EXPENSIVE", "subspace": "price"})
+        assert hist.count == before + 2
+        assert why_not.count == before_why + 1
+        gauge = registry().gauge("serve.deadline.last_remaining_seconds")
+        assert gauge.value > 0  # default deadline leaves headroom
+
+
+class TestOverloadShedding:
+    def test_shed_accounting_matches_responses(self, published):
+        """Sustained overload: typed shed counters agree with HTTP codes.
+
+        With one slot held and a queue of 2, a burst of probes must split
+        into queue-full sheds (immediate 503) and queued-then-timed-out
+        sheds (503 after the deadline) -- and the `serve.shed.*` counters
+        plus the queue-depth gauge must account for every one of them.
+        """
+        from repro.obs import registry
+
+        store = published[0]
+        service = CubeService(
+            store,
+            admission=AdmissionController(
+                max_concurrency=1,
+                queue_limit=2,
+                default_deadline_ms=200,
+            ),
+            reload_interval=0,
+        )
+        service.preload()
+        reg = registry()
+        shed_total = reg.counter("serve.shed")
+        shed_queue_full = reg.counter("serve.shed.queue_full")
+        shed_timeout = reg.counter("serve.shed.timeout")
+        before = (
+            shed_total.value,
+            shed_queue_full.value,
+            shed_timeout.value,
+        )
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with service.admission.admit(Deadline.after_ms(30_000)):
+                entered.set()
+                release.wait(timeout=30)
+
+        hold = threading.Thread(target=holder)
+        hold.start()
+        assert entered.wait(timeout=10)
+
+        statuses = []
+        lock = threading.Lock()
+
+        def probe():
+            status, payload, _ = service.handle_http(
+                "GET", "/v1/skyline", {"subspace": ["price"]}, {}
+            )
+            with lock:
+                statuses.append((status, payload.get("reason")))
+
+        try:
+            probes = [threading.Thread(target=probe) for _ in range(6)]
+            for t in probes:
+                t.start()
+            for t in probes:
+                t.join(timeout=30)
+        finally:
+            release.set()
+            hold.join(timeout=30)
+
+        assert len(statuses) == 6
+        observed_queue_full = sum(
+            1 for s, r in statuses if s == 503 and r == "queue_full"
+        )
+        observed_timeout = sum(
+            1 for s, r in statuses if s == 503 and r == "timeout"
+        )
+        # The slot never freed, so every probe was shed one way or the
+        # other; the queue only holds 2, so most shed immediately.
+        assert observed_queue_full + observed_timeout == 6
+        assert observed_queue_full >= 4
+        # Counter deltas match the observed responses exactly.
+        assert shed_total.value - before[0] == 6
+        assert shed_queue_full.value - before[1] == observed_queue_full
+        assert shed_timeout.value - before[2] == observed_timeout
+        # Steady state restored: nothing queued or in flight.
+        assert service.admission.waiting == 0
+        assert reg.gauge("serve.queue.depth").value == 0
+        assert service.admission.inflight == 0
 
 
 class TestHTTPServer:

@@ -23,6 +23,7 @@ from repro.bench.ledger import (
     entry_from_result,
     ledger_path,
     load_entries,
+    normalize_metric,
     render_diff,
 )
 from repro.bench.reporting import FigureResult
@@ -187,6 +188,43 @@ class TestPrometheusExport:
         assert 'repro_unit_seconds_bucket{le="+Inf"} 3' in text
         assert "repro_unit_seconds_count 3" in text
         assert "repro_unit_seconds_sum 5.55" in text
+
+    def test_percentiles_recoverable_from_exported_buckets(self):
+        """External consumers (Grafana) compute percentiles from the
+        ``le``-labelled cumulative bucket series alone; reconstructing the
+        p95 from the exported text must agree with the registry's own
+        interpolated estimate to within one bucket width."""
+        reg = registry()
+        bounds = (0.01, 0.05, 0.1, 0.5, 1.0)
+        hist = reg.histogram("recon.seconds", bounds=bounds)
+        samples = [0.004, 0.02, 0.03, 0.06, 0.07, 0.2, 0.3, 0.4, 0.45, 0.8]
+        for value in samples:
+            hist.observe(value)
+        text = render_prometheus()
+        buckets = []
+        for line in text.splitlines():
+            match = re.match(
+                r'repro_recon_seconds_bucket\{le="([^"]+)"\} (\d+)', line
+            )
+            if match:
+                le = (
+                    float("inf")
+                    if match.group(1) == "+Inf"
+                    else float(match.group(1))
+                )
+                buckets.append((le, int(match.group(2))))
+        assert [le for le, _ in buckets] == [*bounds, float("inf")]
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == len(samples)
+        # histogram_quantile-style reconstruction: the first bucket whose
+        # cumulative count reaches rank(q) brackets the percentile.
+        target = 0.95 * len(samples)
+        upper = next(le for le, c in buckets if c >= target)
+        lower = max(
+            (le for le, c in buckets if le < upper), default=0.0
+        )
+        assert lower <= hist.quantile(0.95) <= upper
 
     def test_every_line_parses_as_prometheus_text(self, running_example):
         engine = QueryEngine.build(running_example)
@@ -493,6 +531,37 @@ class TestLedger:
         text = render_diff(base, cand, diffs, 0.25)
         assert "REGRESSION" in text
         assert "1 regression(s) beyond threshold" in text
+
+    def test_numeric_normalization(self, tmp_path):
+        """Integral metrics serialize as ints, float-or-int on read alike."""
+        assert normalize_metric(6.0) == 6 and isinstance(
+            normalize_metric(6.0), int
+        )
+        assert normalize_metric(6) == 6 and isinstance(normalize_metric(6), int)
+        assert normalize_metric(0.25) == 0.25 and isinstance(
+            normalize_metric(0.25), float
+        )
+        path = ledger_path(tmp_path, "norm")
+        append_entry(
+            path, _entry({"points_measured": 6.0, "total_s": 1.25})
+        )
+        raw = json.loads(path.read_text())["entries"][0]["metrics"]
+        assert raw["points_measured"] == 6
+        assert isinstance(raw["points_measured"], int)
+        assert isinstance(raw["total_s"], float)
+        # Reading a legacy file with the float spelling normalizes too.
+        (loaded,) = load_entries(path)
+        assert isinstance(loaded.metrics["points_measured"], int)
+
+    def test_diff_only_filters_metrics(self):
+        base = _entry({"skyline_p99_s": 0.010, "shed_rate": 0.0})
+        cand = _entry({"skyline_p99_s": 0.011, "shed_rate": 1.0})
+        all_diffs = diff_entries(base, cand, threshold=0.5)
+        assert any(d.regressed for d in all_diffs)  # shed_rate blew up
+        gated = diff_entries(base, cand, threshold=0.5, only=["*_p99_s"])
+        assert [d.metric for d in gated] == ["skyline_p99_s"]
+        assert not any(d.regressed for d in gated)
+        assert diff_entries(base, cand, only=["nomatch*"]) == []
 
 
 # ---------------------------------------------------------------------------

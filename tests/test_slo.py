@@ -1,0 +1,259 @@
+"""Tests for the SLO engine (repro.obs.slo).
+
+The engine is exercised against a *private* MetricsRegistry with a fake
+clock, so every window boundary and burn-rate figure is deterministic:
+drive the underlying histogram/counters by hand, advance the clock,
+sample, and assert the accounting.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import render_prometheus
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSampler,
+    availability_slo,
+    default_serving_slos,
+    format_window,
+    latency_slo,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+def make_engine(reg, slos, windows=(60.0, 300.0)):
+    clock = FakeClock()
+    return SLOEngine(slos, windows=windows, reg=reg, clock=clock), clock
+
+
+class TestSLODefinition:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            latency_slo("x", "h", 0.1).__class__(
+                name="x", kind="nope", target=0.9
+            )
+        with pytest.raises(ValueError, match="target"):
+            latency_slo("x", "h", 0.1, target=1.0)
+        with pytest.raises(ValueError, match="threshold"):
+            latency_slo("x", "h", 0.0)
+        with pytest.raises(ValueError, match="total_counters"):
+            availability_slo("x", (), ("bad",))
+
+    def test_effective_threshold_snaps_down(self, reg):
+        reg.histogram("lat.seconds", bounds=(0.01, 0.1, 1.0))
+        slo = latency_slo("lat", "lat.seconds", threshold_seconds=0.5)
+        assert slo.effective_threshold(reg) == 0.1
+        exact = latency_slo("lat2", "lat.seconds", threshold_seconds=0.1)
+        assert exact.effective_threshold(reg) == 0.1
+        below = latency_slo("lat3", "lat.seconds", threshold_seconds=0.001)
+        assert below.effective_threshold(reg) == 0.0
+
+    def test_default_serving_slos_shape(self):
+        slos = default_serving_slos()
+        names = [s.name for s in slos]
+        assert "latency.skyline" in names
+        assert "availability" in names
+        availability = slos[-1]
+        assert availability.total_counters == ("serve.admitted", "serve.shed")
+        assert availability.bad_counters == ("serve.shed",)
+
+    def test_engine_validation(self, reg):
+        slo = latency_slo("x", "h", 0.1)
+        with pytest.raises(ValueError, match="at least one"):
+            SLOEngine([], reg=reg)
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([slo, slo], reg=reg)
+        with pytest.raises(ValueError, match="windows"):
+            SLOEngine([slo], windows=(), reg=reg)
+
+
+class TestLatencyAccounting:
+    def test_compliance_from_buckets(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1, 1.0))
+        slo = latency_slo("lat", "lat.seconds", 0.1, target=0.9)
+        engine, _ = make_engine(reg, [slo])
+        for _ in range(95):
+            hist.observe(0.005)  # good
+        for _ in range(5):
+            hist.observe(0.5)  # bad (over 0.1)
+        report = engine.sample()
+        (status,) = report.statuses
+        assert status.good == 95 and status.total == 100
+        assert status.compliance == pytest.approx(0.95)
+        assert status.met is True
+        # budget: 10% of 100 events = 10 bad allowed; 5 consumed.
+        assert status.budget_consumed == pytest.approx(0.5)
+        assert status.budget_remaining == pytest.approx(0.5)
+
+    def test_no_traffic_is_compliant(self, reg):
+        slo = latency_slo("lat", "lat.seconds", 0.1)
+        engine, _ = make_engine(reg, [slo])
+        report = engine.sample()
+        (status,) = report.statuses
+        assert status.total == 0
+        assert status.compliance == 1.0
+        assert status.met is True
+        assert report.ok
+
+    def test_violation_and_blown_budget(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1, 1.0))
+        slo = latency_slo("lat", "lat.seconds", 0.1, target=0.99)
+        engine, _ = make_engine(reg, [slo])
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        report = engine.sample()
+        (status,) = report.statuses
+        assert status.met is False
+        assert not report.ok
+        assert status.budget_remaining < 0  # blown
+
+
+class TestWindowsAndBurnRate:
+    def test_burn_rate_over_window(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1, 1.0))
+        slo = latency_slo("lat", "lat.seconds", 0.1, target=0.99)
+        engine, clock = make_engine(reg, [slo], windows=(60.0,))
+        for _ in range(100):
+            hist.observe(0.005)
+        engine.sample()  # baseline: 100 good
+        clock.advance(60.0)
+        # Next minute: 90 good, 10 bad -> bad fraction 0.1, budget 0.01.
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        report = engine.sample()
+        (status,) = report.statuses
+        (window,) = status.windows
+        assert window.total == 100
+        assert window.good == 90
+        assert window.burn_rate == pytest.approx(10.0)
+        # Lifetime compliance still counts the clean first minute.
+        assert status.compliance == pytest.approx(0.95)
+
+    def test_window_baseline_prefers_oldest_inside_horizon(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1))
+        slo = latency_slo("lat", "lat.seconds", 0.01, target=0.5)
+        engine, clock = make_engine(reg, [slo], windows=(60.0,))
+        hist.observe(0.005)
+        engine.sample()  # t=1000, total 1
+        clock.advance(30.0)
+        hist.observe(0.005)
+        engine.sample()  # t=1030, total 2
+        clock.advance(30.0)
+        hist.observe(0.005)
+        report = engine.sample()  # t=1060; baseline should be t=1000
+        (window,) = report.statuses[0].windows
+        assert window.total == 2
+        assert window.span_seconds == pytest.approx(60.0)
+
+    def test_history_pruned_beyond_longest_window(self, reg):
+        slo = latency_slo("lat", "lat.seconds", 0.1)
+        engine, clock = make_engine(reg, [slo], windows=(60.0,))
+        for _ in range(10):
+            engine.sample()
+            clock.advance(30.0)
+        # At most: one baseline at/past the horizon + in-window samples.
+        assert len(engine._history) <= 4
+
+    def test_format_window(self):
+        assert format_window(60.0) == "1m"
+        assert format_window(300.0) == "5m"
+        assert format_window(3600.0) == "1h"
+        assert format_window(45.0) == "45s"
+
+
+class TestAvailabilityAccounting:
+    def test_shed_rate(self, reg):
+        admitted = reg.counter("serve.admitted")
+        shed = reg.counter("serve.shed")
+        slo = availability_slo(
+            "avail", ("serve.admitted", "serve.shed"), ("serve.shed",),
+            target=0.9,
+        )
+        engine, _ = make_engine(reg, [slo])
+        admitted.inc(95)
+        shed.inc(5)
+        (status,) = engine.sample().statuses
+        assert status.total == 100
+        assert status.good == 95
+        assert status.met is True
+        assert status.budget_consumed == pytest.approx(0.5)
+
+
+class TestExportAndReport:
+    def test_gauges_exported_to_prometheus(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1))
+        slo = latency_slo("lat", "lat.seconds", 0.1, target=0.99)
+        engine, _ = make_engine(reg, [slo], windows=(60.0,))
+        hist.observe(0.005)
+        engine.sample()
+        assert reg.gauge("slo.lat.compliance").value == 1.0
+        assert reg.gauge("slo.lat.met").value == 1.0
+        assert reg.gauge("slo.lat.target").value == 0.99
+        text = render_prometheus(reg)
+        assert "repro_slo_lat_compliance 1" in text
+        assert "repro_slo_lat_burn_rate_1m 0" in text
+
+    def test_report_round_trip_and_render(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1))
+        slo = latency_slo("lat", "lat.seconds", 0.1, target=0.99)
+        engine, _ = make_engine(reg, [slo])
+        hist.observe(0.005)
+        hist.observe(5.0)
+        report = engine.sample()
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        (entry,) = payload["slos"]
+        assert entry["name"] == "lat"
+        assert entry["good"] == 1 and entry["total"] == 2
+        assert not math.isnan(entry["compliance"])
+        text = report.render()
+        assert "VIOLATED" in text
+        assert "error budget" in text
+
+    def test_report_without_sampling(self, reg):
+        slo = latency_slo("lat", "lat.seconds", 0.1)
+        engine, _ = make_engine(reg, [slo])
+        report = engine.report()
+        assert report.statuses[0].total == 0
+        assert engine._history == []  # report() records nothing
+
+
+class TestSampler:
+    def test_sampler_samples_on_start_and_stop(self, reg):
+        hist = reg.histogram("lat.seconds", bounds=(0.01, 0.1))
+        slo = latency_slo("lat", "lat.seconds", 0.1)
+        engine = SLOEngine([slo], windows=(60.0,), reg=reg)
+        hist.observe(0.005)
+        with SLOSampler(engine, interval=30.0):
+            assert reg.gauge("slo.lat.events_total").value == 1.0
+            hist.observe(0.005)
+        # stop() samples once more, picking up the second observation.
+        assert reg.gauge("slo.lat.events_total").value == 2.0
+
+    def test_sampler_validation(self, reg):
+        engine = SLOEngine(
+            [latency_slo("lat", "lat.seconds", 0.1)], reg=reg
+        )
+        with pytest.raises(ValueError, match="interval"):
+            SLOSampler(engine, interval=0)
