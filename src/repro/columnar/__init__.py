@@ -1,0 +1,34 @@
+"""Columnar vectorized engine: int codes, packed bitmaps, engine selection.
+
+See docs/COLUMNAR.md for the layout, the bitmask encoding, and the
+bit-identical-to-rows guarantee the CI kernel-equivalence gate enforces.
+"""
+
+from .encoding import ColumnarDataset, encode_dataset, pack_bitmap, unpack_bitmap
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    ENV_VAR,
+    active_engine,
+    parse_engine,
+    resolve_engine,
+    use_engine,
+)
+from .kernels import GroupIndex, ScanResult, skyline_bitset
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENV_VAR",
+    "ColumnarDataset",
+    "GroupIndex",
+    "ScanResult",
+    "active_engine",
+    "encode_dataset",
+    "pack_bitmap",
+    "parse_engine",
+    "resolve_engine",
+    "skyline_bitset",
+    "unpack_bitmap",
+    "use_engine",
+]

@@ -1,0 +1,110 @@
+"""Int-encoded columnar layout and packed uint64 membership bitmaps.
+
+The columnar engine never compares floats: each minimized column is
+*dense-rank encoded* once (``np.unique(..., return_inverse=True)``), giving
+an ``int64`` code matrix where ``codes[i, d] < codes[j, d]`` exactly when
+``minimized[i, d] < minimized[j, d]`` and equality is likewise preserved.
+Every dominance, coincidence, share and beat mask computed from the codes
+is therefore **bit-identical** to the float path -- the encoding is a
+per-column order isomorphism, and :class:`~repro.core.types.Dataset`
+rejects NaN/inf up front so there are no incomparable values to distort it.
+
+Int comparisons vectorize better than float comparisons (no denormal
+stalls, tighter SIMD lanes) and the codes are friendlier to the broadcast
+blocks of the Theorem-5 pass; the dense ranks of real datasets also fit
+comfortably in cache.
+
+Object-set payloads (skyline-group members) are carried as packed little
+endian uint64 bitmaps: bit ``i`` of the flattened bit string is object
+``i``.  Unions of member sets -- the inner loop of every subspace scan --
+become ``np.bitwise_or.reduce`` over a ``(n_groups, words)`` matrix.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import Dataset
+
+__all__ = [
+    "ColumnarDataset",
+    "encode_dataset",
+    "pack_bitmap",
+    "unpack_bitmap",
+]
+
+
+@dataclass(frozen=True)
+class ColumnarDataset:
+    """Dense-rank int codes of one dataset's minimized matrix.
+
+    Attributes
+    ----------
+    codes:
+        ``(n_objects, n_dims)`` read-only ``int64`` matrix; per column, the
+        dense rank of the minimized value (0 = best).  Order and equality
+        match the float matrix exactly.
+    cardinalities:
+        Distinct values per column (the rank domain sizes), useful for
+        diagnostics and layout decisions.
+    """
+
+    codes: np.ndarray
+    cardinalities: tuple[int, ...]
+
+    @property
+    def n_objects(self) -> int:
+        """Number of encoded objects (rows of ``codes``)."""
+        return int(self.codes.shape[0])
+
+    @property
+    def n_dims(self) -> int:
+        """Number of encoded dimensions (columns of ``codes``)."""
+        return int(self.codes.shape[1])
+
+
+#: id(dataset) -> (weakref to the dataset, its encoding).  Keyed by identity
+#: because Dataset carries numpy fields and is not hashable; the weakref
+#: guards against id reuse after the original dataset is collected.
+_CACHE: dict[int, tuple[weakref.ref, ColumnarDataset]] = {}
+
+
+def encode_dataset(dataset: Dataset) -> ColumnarDataset:
+    """Dense-rank encode ``dataset.minimized``, cached per dataset instance."""
+    key = id(dataset)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0]() is dataset:
+        return hit[1]
+    minimized = dataset.minimized
+    n, d = minimized.shape
+    codes = np.empty((n, d), dtype=np.int64)
+    cardinalities = []
+    for col in range(d):
+        uniques, inverse = np.unique(minimized[:, col], return_inverse=True)
+        codes[:, col] = inverse.reshape(n)
+        cardinalities.append(int(uniques.size))
+    codes.setflags(write=False)
+    encoded = ColumnarDataset(codes=codes, cardinalities=tuple(cardinalities))
+    _CACHE[key] = (weakref.ref(dataset, lambda _r, _k=key: _CACHE.pop(_k, None)), encoded)
+    return encoded
+
+
+def pack_bitmap(indices, n: int) -> np.ndarray:
+    """Pack object indices into a little-endian uint64 bitmap of ``n`` bits."""
+    flags = np.zeros(n, dtype=bool)
+    if len(indices):
+        flags[np.asarray(list(indices), dtype=np.int64)] = True
+    words = (n + 63) // 64
+    packed = np.packbits(flags, bitorder="little")
+    out = np.zeros(words * 8, dtype=np.uint8)
+    out[: packed.size] = packed
+    return out.view(np.uint64)
+
+
+def unpack_bitmap(words: np.ndarray, n: int) -> np.ndarray:
+    """Indices of the set bits of a bitmap produced by :func:`pack_bitmap`."""
+    bits = np.unpackbits(words.view(np.uint8), count=n, bitorder="little")
+    return np.flatnonzero(bits)

@@ -1,0 +1,94 @@
+"""Engine selection: row-at-a-time reference vs columnar vectorized.
+
+Two engines answer every hot-path computation in this codebase:
+
+* ``rows`` -- the reference implementation: per-object Python loops over
+  float comparisons, exactly as the paper describes the algorithms;
+* ``columnar`` -- the vectorized implementation over the int-encoded
+  columnar layout of :mod:`repro.columnar.encoding` and the packed-bitmask
+  kernels of :mod:`repro.columnar.kernels`.
+
+Both produce **bit-identical** results (the CI ``kernel-equivalence`` job
+enforces it on every push); the columnar engine is simply faster, so the
+choice is an operational knob, not a semantic one.
+
+Configuration mirrors :mod:`repro.parallel.backend` and resolves in
+precedence order: an explicit argument (``stellar(..., engine=...)``,
+``QueryEngine(cube, engine=...)``), the ambient engine installed by
+:func:`use_engine` (the CLI ``--engine`` flag), the ``REPRO_ENGINE``
+environment variable, and finally :data:`DEFAULT_ENGINE` (``rows``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENV_VAR",
+    "active_engine",
+    "parse_engine",
+    "resolve_engine",
+    "use_engine",
+]
+
+#: Environment variable carrying the default engine name.
+ENV_VAR = "REPRO_ENGINE"
+
+#: The engines every configurable hot path accepts.
+ENGINES = ("rows", "columnar")
+
+#: The reference path wins by default: new engines must be opted into.
+DEFAULT_ENGINE = "rows"
+
+
+def parse_engine(spec: str | None) -> str:
+    """Normalize an engine spec; ``None``/empty parses to the default."""
+    if spec is None:
+        return DEFAULT_ENGINE
+    text = str(spec).strip().lower()
+    if not text:
+        return DEFAULT_ENGINE
+    if text not in ENGINES:
+        known = ", ".join(ENGINES)
+        raise ValueError(f"unknown engine {spec!r}; known engines: {known}")
+    return text
+
+
+#: Ambient engine installed by :func:`use_engine` (the CLI ``--engine`` flag).
+_AMBIENT: ContextVar[str | None] = ContextVar("repro_engine", default=None)
+
+
+def active_engine() -> str | None:
+    """The ambient engine, if :func:`use_engine` is in effect."""
+    return _AMBIENT.get()
+
+
+@contextmanager
+def use_engine(spec: str | None):
+    """Install an ambient engine for the enclosed block.
+
+    Nested calls shadow outer ones; ``None`` re-installs the default
+    (useful to force the reference path under an env override).
+    """
+    token = _AMBIENT.set(parse_engine(spec))
+    try:
+        yield _AMBIENT.get()
+    finally:
+        _AMBIENT.reset(token)
+
+
+def resolve_engine(explicit: str | None = None) -> str:
+    """Resolve the active engine: explicit > ambient > env > default."""
+    if explicit is not None:
+        return parse_engine(explicit)
+    ambient = _AMBIENT.get()
+    if ambient is not None:
+        return ambient
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return parse_engine(env)
+    return DEFAULT_ENGINE

@@ -24,19 +24,35 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import mmap
 import os
+import struct
 import tempfile
 from pathlib import Path
+
+import numpy as np
 
 from ..core.types import Dataset, SkylineGroup, group_sort_key
 from .compressed import CompressedSkylineCube
 
-__all__ = ["save_cube", "load_cube", "dataset_fingerprint"]
+__all__ = [
+    "save_cube",
+    "load_cube",
+    "dataset_fingerprint",
+    "save_snapshot_binary",
+    "load_snapshot_binary",
+    "BINARY_MAGIC",
+    "BINARY_FORMAT",
+]
 
 _FORMAT = "repro-skyline-cube/1"
 
 #: First two bytes of every gzip stream (RFC 1952).
 _GZIP_MAGIC = b"\x1f\x8b"
+
+#: 8-byte magic of the mmap-friendly binary snapshot format.
+BINARY_MAGIC = b"RSCBIN01"
+BINARY_FORMAT = "repro-skyline-cube-bin/1"
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
@@ -114,11 +130,17 @@ def _read_maybe_gzip(path: Path) -> str:
 def load_cube(path: str | Path, dataset: Dataset) -> CompressedSkylineCube:
     """Read a cube from ``path`` and bind it to ``dataset``.
 
-    Accepts plain and gzip-compressed files interchangeably (the content
-    is sniffed, not the extension).  Raises :class:`ValueError` when the
-    file is not a cube file or was computed from different data.
+    Accepts plain, gzip-compressed, and binary-snapshot files
+    interchangeably (the content is sniffed, not the extension).  Raises
+    :class:`ValueError` when the file is not a cube file or was computed
+    from different data.
     """
     path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(BINARY_MAGIC))
+    if magic == BINARY_MAGIC:
+        _, cube = load_snapshot_binary(path, dataset)
+        return cube
     try:
         payload = json.loads(_read_maybe_gzip(path))
     except (
@@ -146,3 +168,197 @@ def load_cube(path: str | Path, dataset: Dataset) -> CompressedSkylineCube:
     ]
     groups.sort(key=group_sort_key)
     return CompressedSkylineCube(dataset, groups)
+
+
+# -- mmap-friendly binary snapshot format -----------------------------------
+#
+# Layout::
+#
+#     8 bytes   BINARY_MAGIC ("RSCBIN01")
+#     4 bytes   little-endian uint32: JSON header length H
+#     H bytes   JSON header (format, fingerprint, schema, array directory,
+#               payload_size, payload_sha256)
+#     N bytes   payload: the arrays of the directory, concatenated at the
+#               recorded offsets, every dtype explicitly little-endian
+#
+# Loading maps the file read-only and builds numpy views straight into the
+# mapping (``np.frombuffer``); nothing is parsed or copied beyond the JSON
+# header and the checksum pass, which is what makes snapshot activation
+# effectively O(header) instead of O(gzip + JSON of the whole cube).
+
+#: Ragged group payloads, stored as (offsets, flat values) CSR pairs.
+_BIN_RAGGED = ("members", "decisive", "projection")
+
+
+def save_snapshot_binary(cube: CompressedSkylineCube, path: str | Path) -> None:
+    """Write the cube (and its dataset) as one binary snapshot, atomically.
+
+    The write goes through :func:`atomic_write_bytes`, so readers see
+    either the previous file or the complete new one -- the same crash
+    safety as the JSON format.
+    """
+    dataset = cube.dataset
+    groups = cube.groups
+    arrays: dict[str, np.ndarray] = {
+        "values": np.ascontiguousarray(dataset.values, dtype="<f8"),
+        "subspaces": np.array([g.subspace for g in groups], dtype="<i8"),
+    }
+    for name in _BIN_RAGGED:
+        if name == "members":
+            rows = [sorted(g.members) for g in groups]
+            flat_dtype = "<i8"
+        elif name == "decisive":
+            rows = [list(g.decisive) for g in groups]
+            flat_dtype = "<i8"
+        else:
+            rows = [list(g.projection) for g in groups]
+            flat_dtype = "<f8"
+        offsets = np.zeros(len(groups) + 1, dtype="<i8")
+        np.cumsum([len(r) for r in rows], out=offsets[1:])
+        arrays[f"{name}_off"] = offsets
+        arrays[f"{name}_flat"] = np.array(
+            [x for row in rows for x in row], dtype=flat_dtype
+        )
+
+    directory = []
+    payload = bytearray()
+    for name, arr in arrays.items():
+        offset = len(payload)
+        payload += arr.tobytes()
+        directory.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+        )
+    header = {
+        "format": BINARY_FORMAT,
+        "fingerprint": dataset_fingerprint(dataset),
+        "n_objects": dataset.n_objects,
+        "n_dims": dataset.n_dims,
+        "n_groups": len(groups),
+        "names": list(dataset.names),
+        "directions": [d.value for d in dataset.directions],
+        "labels": list(dataset.labels),
+        "payload_size": len(payload),
+        "payload_sha256": hashlib.sha256(bytes(payload)).hexdigest(),
+        "arrays": directory,
+    }
+    header_bytes = json.dumps(header).encode()
+    blob = (
+        BINARY_MAGIC
+        + struct.pack("<I", len(header_bytes))
+        + header_bytes
+        + bytes(payload)
+    )
+    atomic_write_bytes(path, blob)
+
+
+def load_snapshot_binary(
+    path: str | Path, dataset: Dataset | None = None
+) -> tuple[Dataset, CompressedSkylineCube]:
+    """Map a binary snapshot and rebuild its dataset and cube.
+
+    The file is memory-mapped read-only; the dataset's value matrix is a
+    zero-copy view into the mapping (the mapping stays alive through the
+    arrays' ``base`` references).  The payload checksum is always verified:
+    a corrupt or truncated file raises a :class:`ValueError` naming the
+    checksum mismatch instead of feeding garbage columns to the kernels.
+
+    When ``dataset`` is supplied, its fingerprint must match the snapshot's
+    (same contract as :func:`load_cube`) and the returned cube is bound to
+    the supplied instance.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    head = len(BINARY_MAGIC)
+    if mm[:head] != BINARY_MAGIC:
+        raise ValueError(f"{path}: not a {BINARY_FORMAT} file (bad magic)")
+    if mm.size() < head + 4:
+        raise ValueError(f"{path}: truncated binary snapshot (no header)")
+    (header_len,) = struct.unpack("<I", mm[head : head + 4])
+    body = head + 4
+    if mm.size() < body + header_len:
+        raise ValueError(f"{path}: truncated binary snapshot (partial header)")
+    try:
+        header = json.loads(mm[body : body + header_len].decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"{path}: corrupt binary snapshot header ({exc})") from None
+    if header.get("format") != BINARY_FORMAT:
+        raise ValueError(f"{path}: not a {BINARY_FORMAT} file")
+    payload_start = body + header_len
+    payload_size = int(header["payload_size"])
+    if mm.size() < payload_start + payload_size:
+        raise ValueError(
+            f"{path}: truncated binary snapshot "
+            f"(payload needs {payload_size} bytes, "
+            f"{mm.size() - payload_start} present)"
+        )
+    digest = hashlib.sha256(
+        mm[payload_start : payload_start + payload_size]
+    ).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise ValueError(
+            f"{path}: binary snapshot checksum mismatch "
+            f"(expected {header['payload_sha256']}, got {digest}); "
+            "the file is corrupt"
+        )
+
+    view = np.frombuffer(mm, dtype=np.uint8, count=payload_size, offset=payload_start)
+    arrays: dict[str, np.ndarray] = {}
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        count = int(np.prod(spec["shape"], dtype=np.int64)) if spec["shape"] else 1
+        start = int(spec["offset"])
+        arr = np.frombuffer(
+            view, dtype=dtype, count=count, offset=start
+        ).reshape(spec["shape"])
+        arrays[spec["name"]] = arr
+
+    values = arrays["values"].reshape(
+        int(header["n_objects"]), int(header["n_dims"])
+    )
+    loaded = Dataset(
+        values=values,
+        names=tuple(header["names"]),
+        directions=tuple(header["directions"]),
+        labels=tuple(header["labels"]),
+    )
+    if dataset is not None:
+        if header.get("fingerprint") != dataset_fingerprint(dataset):
+            raise ValueError(
+                f"{path}: cube was computed from a different dataset "
+                "(fingerprint mismatch)"
+            )
+        bound = dataset
+    else:
+        bound = loaded
+
+    n_groups = int(header["n_groups"])
+    mem_off = arrays["members_off"]
+    mem_flat = arrays["members_flat"]
+    dec_off = arrays["decisive_off"]
+    dec_flat = arrays["decisive_flat"]
+    proj_off = arrays["projection_off"]
+    proj_flat = arrays["projection_flat"]
+    subspaces = arrays["subspaces"]
+    groups = [
+        SkylineGroup(
+            members=frozenset(
+                int(m) for m in mem_flat[mem_off[g] : mem_off[g + 1]]
+            ),
+            subspace=int(subspaces[g]),
+            decisive=tuple(
+                int(c) for c in dec_flat[dec_off[g] : dec_off[g + 1]]
+            ),
+            projection=tuple(
+                float(v) for v in proj_flat[proj_off[g] : proj_off[g + 1]]
+            ),
+        )
+        for g in range(n_groups)
+    ]
+    groups.sort(key=group_sort_key)
+    return bound, CompressedSkylineCube(bound, groups)

@@ -26,6 +26,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..columnar.engine import resolve_engine
+from ..columnar.kernels import GroupIndex
 from ..core.bitset import iter_bits
 from ..core.dominance import COMPARISONS
 from ..core.types import Dataset, SkylineGroup
@@ -136,11 +138,24 @@ class QueryPlan:
 
 
 class QueryEngine:
-    """Name/label-level access to a compressed skyline cube."""
+    """Name/label-level access to a compressed skyline cube.
 
-    def __init__(self, cube: CompressedSkylineCube):
+    ``engine`` selects the subspace-scan implementation: ``"rows"`` (the
+    reference Python loop) or ``"columnar"`` (the vectorized
+    :class:`~repro.columnar.kernels.GroupIndex`); ``None`` defers to the
+    ambient engine / ``REPRO_ENGINE``.  Results, plan counters, and every
+    observability side effect are identical across engines -- the CI
+    kernel-equivalence gate enforces it.
+    """
+
+    def __init__(self, cube: CompressedSkylineCube, engine: str | None = None):
         self.cube = cube
         self.dataset: Dataset = cube.dataset
+        self.engine = resolve_engine(engine)
+        if self.dataset.n_dims > 62:
+            # int64 mask words cap out at 62 data dimensions.
+            self.engine = "rows"
+        self._group_index: GroupIndex | None = None
         self._label_to_index = {
             label: i for i, label in enumerate(self.dataset.labels)
         }
@@ -148,9 +163,25 @@ class QueryEngine:
         self.last_plan: QueryPlan | None = None
 
     @classmethod
-    def build(cls, dataset: Dataset, algorithm: str = "stellar") -> "QueryEngine":
+    def build(
+        cls,
+        dataset: Dataset,
+        algorithm: str = "stellar",
+        engine: str | None = None,
+    ) -> "QueryEngine":
         """Compute the cube for ``dataset`` and wrap it in an engine."""
-        return cls(CompressedSkylineCube.build(dataset, algorithm=algorithm))
+        return cls(
+            CompressedSkylineCube.build(dataset, algorithm=algorithm),
+            engine=engine,
+        )
+
+    def _index(self) -> GroupIndex:
+        """The columnar group index, built on first use and then shared."""
+        if self._group_index is None:
+            self._group_index = GroupIndex(
+                self.dataset.n_objects, self.cube.groups
+            )
+        return self._group_index
 
     # -- observation -------------------------------------------------------
 
@@ -228,6 +259,26 @@ class QueryEngine:
                     break
         return matched
 
+    def _scan_members(self, mask: int, plan: QueryPlan) -> list[int]:
+        """Sorted members of every group covering ``mask``, engine-dispatched.
+
+        The columnar path runs the same scan as four vectorized passes over
+        the :class:`~repro.columnar.kernels.GroupIndex` and reports counters
+        computed to match the rows path's short-circuit accounting exactly;
+        either way the caller sees identical members and an identical plan.
+        """
+        if self.engine == "columnar":
+            scan = self._index().scan(mask)
+            plan.count("groups_considered", scan.groups_considered)
+            plan.count("groups_matched", scan.groups_matched)
+            plan.count("interval_checks", scan.interval_checks)
+            return [int(i) for i in scan.members]
+        matched = self._scan_groups(mask, self.cube.groups, plan)
+        members: set[int] = set()
+        for group in matched:
+            members.update(group.members)
+        return sorted(members)
+
     def _enumerate_intervals(self, obj: int, plan: QueryPlan) -> list[int]:
         """Materialise the membership lattice of ``obj``, counted.
 
@@ -260,11 +311,9 @@ class QueryEngine:
             mask = self.dataset.parse_subspace(subspace)
             self.cube._check_subspace(mask)
             plan.strategy = "decisive-scan"
-            matched = self._scan_groups(mask, self.cube.groups, plan)
-            members: set[int] = set()
-            for group in matched:
-                members.update(group.members)
-            out = [self.dataset.labels[i] for i in sorted(members)]
+            out = [
+                self.dataset.labels[i] for i in self._scan_members(mask, plan)
+            ]
             plan.result_size = len(out)
         return out
 
@@ -346,12 +395,9 @@ class QueryEngine:
                 if mask & (1 << d):
                     continue
                 bigger = mask | (1 << d)
-                matched = self._scan_groups(bigger, self.cube.groups, plan)
-                members: set[int] = set()
-                for group in matched:
-                    members.update(group.members)
                 out[self.dataset.format_subspace(bigger)] = [
-                    self.dataset.labels[i] for i in sorted(members)
+                    self.dataset.labels[i]
+                    for i in self._scan_members(bigger, plan)
                 ]
             plan.result_size = len(out)
         return out
@@ -367,12 +413,9 @@ class QueryEngine:
                 smaller = mask & ~(1 << d)
                 if smaller == 0:
                     continue
-                matched = self._scan_groups(smaller, self.cube.groups, plan)
-                members: set[int] = set()
-                for group in matched:
-                    members.update(group.members)
                 out[self.dataset.format_subspace(smaller)] = [
-                    self.dataset.labels[i] for i in sorted(members)
+                    self.dataset.labels[i]
+                    for i in self._scan_members(smaller, plan)
                 ]
             plan.result_size = len(out)
         return out

@@ -192,6 +192,7 @@ class LoadtestReport:
     capacity: CapacityModel | None
     churn: dict = field(default_factory=dict)
     consistency: dict = field(default_factory=dict)
+    snapshot_activation: dict | None = None
 
     @property
     def consistency_violations(self) -> int:
@@ -225,6 +226,11 @@ class LoadtestReport:
             "capacity": self.capacity.to_dict() if self.capacity else None,
             "churn": dict(self.churn),
             "consistency": dict(self.consistency),
+            "snapshot_activation": (
+                dict(self.snapshot_activation)
+                if self.snapshot_activation
+                else None
+            ),
             "ok": self.ok,
         }
 
@@ -264,6 +270,13 @@ class LoadtestReport:
                 f"{len(consistency.get('violations', ()))} violations, "
                 f"{len(consistency.get('read_inconsistencies', ()))} "
                 f"read inconsistencies"
+            )
+        activation = self.snapshot_activation
+        if activation and activation.get("count"):
+            lines.append(
+                f"  snapshot activation: {activation['count']} swaps, "
+                f"p50 {activation['p50_s'] * 1e3:.2f} ms  "
+                f"p99 {activation['p99_s'] * 1e3:.2f} ms"
             )
         if self.capacity:
             lines.append(self.capacity.render())
@@ -322,6 +335,11 @@ def summarize(result: LoadtestResult) -> LoadtestReport:
         capacity=fit_capacity(records, result.n_groups),
         churn=dict(result.churn),
         consistency=dict(result.consistency),
+        snapshot_activation=(
+            dict(result.snapshot_activation)
+            if result.snapshot_activation
+            else None
+        ),
     )
 
 
@@ -352,6 +370,12 @@ def report_entry(
             continue
         metrics[f"{endpoint.kind}_p50_s"] = round(endpoint.p50_s, 6)
         metrics[f"{endpoint.kind}_p99_s"] = round(endpoint.p99_s, 6)
+    activation = report.snapshot_activation
+    if activation and activation.get("count"):
+        # mmap-activated snapshot swap latency: the binary fast path's
+        # headline number, gated by the same ``*_p99_s`` glob as the
+        # query latencies.
+        metrics["snapshot_activate_p99_s"] = round(activation["p99_s"], 6)
     workload = {
         "title": "open-loop serving load test",
         "target_rps": report.target_rps,
@@ -363,6 +387,8 @@ def report_entry(
         "churn": dict(report.churn),
         "slo_ok": report.slo.ok,
     }
+    if activation:
+        workload["snapshot_activation"] = dict(activation)
     if report.capacity:
         workload["capacity"] = report.capacity.to_dict()
     return LedgerEntry(

@@ -121,6 +121,10 @@ class LoadtestResult:
     consistency: dict = field(default_factory=dict)
     n_groups: int | None = None
     registry: MetricsRegistry | None = None
+    #: Server-side snapshot-activation latency, scraped from ``/metrics``
+    #: after the run (``{"count", "sum_s", "p50_s", "p99_s"}``; None when
+    #: the scrape failed or the server never activated a snapshot).
+    snapshot_activation: dict | None = None
 
 
 class _Oracle:
@@ -430,6 +434,64 @@ class _Runner:
             "churn_errors": list(self.churn_errors),
         }
 
+    def _activation_stats(self) -> dict | None:
+        """Snapshot-activation latency, scraped from the server's /metrics.
+
+        Parses the cumulative ``repro_serve_snapshot_activate_seconds``
+        histogram and reconstructs percentiles with the bucket-upper-bound
+        convention (the value reported is the ``le`` bound of the first
+        bucket whose cumulative count reaches the rank; ``+Inf`` falls back
+        to the largest finite bound).  This is the server's own measurement
+        of mmap-vs-JSON activation cost, which is why it is scraped rather
+        than measured from the client side.
+        """
+        try:
+            request = urllib.request.Request(f"{self.base_url}/metrics")
+            with urllib.request.urlopen(
+                request, timeout=self.config.http_timeout
+            ) as response:
+                scrape = response.read().decode()
+        except (URLError, OSError, ValueError):
+            return None
+        prefix = "repro_serve_snapshot_activate_seconds"
+        buckets: list[tuple[float, int]] = []
+        count = 0
+        total = 0.0
+        for line in scrape.splitlines():
+            if not line.startswith(prefix) or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            if name == f"{prefix}_count":
+                count = int(float(value))
+            elif name == f"{prefix}_sum":
+                total = float(value)
+            elif name.startswith(f'{prefix}_bucket{{le="'):
+                bound = name[len(f'{prefix}_bucket{{le="') : -2]
+                buckets.append(
+                    (float("inf") if bound == "+Inf" else float(bound),
+                     int(float(value)))
+                )
+        if count == 0 or not buckets:
+            return None
+        buckets.sort()
+        largest_finite = max(
+            (b for b, _ in buckets if b != float("inf")), default=0.0
+        )
+
+        def quantile(q: float) -> float:
+            rank = q * count
+            for bound, cumulative in buckets:
+                if cumulative >= rank:
+                    return bound if bound != float("inf") else largest_finite
+            return largest_finite
+
+        return {
+            "count": count,
+            "sum_s": total,
+            "p50_s": quantile(0.50),
+            "p99_s": quantile(0.99),
+        }
+
     def _server_groups(self) -> int | None:
         """The served cube's group count (feeds the capacity model)."""
         try:
@@ -523,6 +585,7 @@ class _Runner:
             consistency=self._audit(),
             n_groups=self._server_groups(),
             registry=self.registry,
+            snapshot_activation=self._activation_stats(),
         )
 
 

@@ -60,6 +60,10 @@ _LOG = get_logger("serve")
 _REQUESTS = registry().counter("serve.requests")
 _REQUEST_SECONDS = registry().histogram("serve.request.seconds")
 _SWAPS = registry().counter("serve.snapshot.swaps")
+#: Wall-clock of one snapshot activation: store load (mmap binary or JSON
+#: fallback) + engine construction + state swap.  Scraped by the load
+#: harness into the ``snapshot_activate_p99_s`` ledger metric.
+_ACTIVATE_SECONDS = registry().histogram("serve.snapshot.activate.seconds")
 _INSERTS = registry().counter("serve.maintenance.inserts")
 _DELETES = registry().counter("serve.maintenance.deletes")
 #: Deadline budget left when the request finished: the headroom signal the
@@ -517,6 +521,7 @@ class CubeService:
                     f"snapshot {name!r} has no active version"
                 )
             if state is None or state.base_version != current:
+                activate_t0 = time.perf_counter()
                 dataset, cube, info = self.store.load(name, current)
                 new_state = _Serving(
                     name=name,
@@ -532,6 +537,7 @@ class CubeService:
                 old_version = state.cube_version if state else None
                 with self._lock:
                     self._states[name] = new_state
+                _ACTIVATE_SECONDS.observe(time.perf_counter() - activate_t0)
                 if old_version is not None:
                     self.cache.invalidate(old_version)
                     _SWAPS.inc()

@@ -10,7 +10,8 @@ version, plus an atomically-replaced ``CURRENT`` pointer file::
       fig8/
         v000001/
           dataset.csv      the bound dataset (schema-bearing CSV)
-          cube.json.gz     the compressed cube (gzip JSON)
+          cube.json.gz     the compressed cube (gzip JSON, fallback)
+          cube.bin         mmap-activated binary snapshot (fast path)
           meta.json        version metadata (fingerprint, sizes, algorithm)
         v000002/...
         CURRENT            "v000002" -- the active version
@@ -39,7 +40,14 @@ from pathlib import Path
 
 from ..core.types import Dataset
 from ..cube.compressed import CompressedSkylineCube
-from ..cube.io import atomic_write_bytes, dataset_fingerprint, load_cube, save_cube
+from ..cube.io import (
+    atomic_write_bytes,
+    dataset_fingerprint,
+    load_cube,
+    load_snapshot_binary,
+    save_cube,
+    save_snapshot_binary,
+)
 from ..data.io import load_csv, save_csv
 from ..obs.logging import get_logger
 from ..obs.metrics import registry
@@ -56,6 +64,7 @@ _VERSION_RE = re.compile(r"^v\d{6}$")
 _CURRENT = "CURRENT"
 _DATASET_FILE = "dataset.csv"
 _CUBE_FILE = "cube.json.gz"
+_CUBE_BIN_FILE = "cube.bin"
 _META_FILE = "meta.json"
 
 
@@ -119,6 +128,9 @@ class SnapshotStore:
             try:
                 save_csv(dataset, staging / _DATASET_FILE)
                 save_cube(cube, staging / _CUBE_FILE)
+                # The mmap-activated fast path; the JSON cube above stays
+                # as the compatibility fallback for older readers.
+                save_snapshot_binary(cube, staging / _CUBE_BIN_FILE)
                 info_base = {
                     "name": name,
                     "created_unix": time.time(),
@@ -220,8 +232,28 @@ class SnapshotStore:
         if not (vdir / _META_FILE).is_file():
             raise ValueError(f"snapshot {name!r} has no version {version!r}")
         with span("serve.store.load", snapshot=name, version=version):
-            dataset = load_csv(vdir / _DATASET_FILE)
-            cube = load_cube(vdir / _CUBE_FILE, dataset)
+            binary = vdir / _CUBE_BIN_FILE
+            if binary.is_file():
+                try:
+                    dataset, cube = load_snapshot_binary(binary)
+                    registry().counter("serve.store.loaded.binary").inc()
+                except ValueError as exc:
+                    # A corrupt binary sidecar must not take the version
+                    # down while the JSON cube can still serve it.
+                    _LOG.warning(
+                        "snapshot.binary_fallback",
+                        extra={
+                            "snapshot": name,
+                            "version": version,
+                            "error": str(exc),
+                        },
+                    )
+                    dataset = load_csv(vdir / _DATASET_FILE)
+                    cube = load_cube(vdir / _CUBE_FILE, dataset)
+            else:
+                # Old snapshots (pre-binary format): parse CSV + JSON.
+                dataset = load_csv(vdir / _DATASET_FILE)
+                cube = load_cube(vdir / _CUBE_FILE, dataset)
         registry().counter("serve.store.loaded").inc()
         return dataset, cube, self._read_info(name, vdir)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..columnar.engine import resolve_engine
 from ..core.dominance import COMPARISONS
 from .base import subspace_columns
 from .sfs import monotone_order
@@ -73,11 +74,30 @@ def chunked_sorted_skyline(ordered: np.ndarray, chunk: int = _CHUNK) -> list[int
     return accepted
 
 
-def skyline_numpy(minimized: np.ndarray, subspace: int | None = None) -> list[int]:
-    """Compute the skyline with the chunk-vectorised SFS strategy."""
+def skyline_numpy(
+    minimized: np.ndarray,
+    subspace: int | None = None,
+    engine: str | None = None,
+) -> list[int]:
+    """Compute the skyline with the chunk-vectorised SFS strategy.
+
+    Under ``engine="columnar"`` (or the ambient engine; see
+    docs/COLUMNAR.md) the skyline is instead computed with the packed
+    uint64 dominance-bitset kernel
+    :func:`~repro.columnar.kernels.skyline_bitset`, which replaces the
+    per-candidate scan with ``n^2/64`` word operations.  The skyline of a
+    dataset is unique, so the returned indices are bit-identical either
+    way; only the :data:`COMPARISONS` accounting differs (the bitset
+    kernel always performs all ``n^2`` logical pair tests, the SFS scan
+    short-circuits).
+    """
     proj = subspace_columns(minimized, subspace)
     if proj.shape[0] == 0:
         return []
+    if resolve_engine(engine) == "columnar":
+        from ..columnar.kernels import skyline_bitset
+
+        return skyline_bitset(proj)
     order = monotone_order(proj)
     positions = chunked_sorted_skyline(proj[order])
     return sorted(int(order[p]) for p in positions)

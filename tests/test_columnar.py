@@ -1,0 +1,257 @@
+"""Tests for the columnar vectorized engine (repro.columnar).
+
+The contract under test is docs/COLUMNAR.md's headline guarantee: every
+columnar kernel is **bit-identical** to the rows reference -- same skyline
+groups from :func:`~repro.core.stellar.stellar`, same query results *and*
+plan counters from :class:`~repro.cube.query.QueryEngine` -- with the
+seeded property-style suite covering ties, exact duplicate rows, and
+single-dimension subspaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    ENV_VAR,
+    active_engine,
+    encode_dataset,
+    pack_bitmap,
+    parse_engine,
+    resolve_engine,
+    skyline_bitset,
+    unpack_bitmap,
+    use_engine,
+)
+from repro.core.stellar import stellar
+from repro.core.types import Dataset
+from repro.cube.compressed import CompressedSkylineCube
+from repro.cube.query import QueryEngine
+from repro.skyline.base import skyline_brute
+
+
+def _random_dataset(rng, n=None, d=None, low_cardinality=True) -> Dataset:
+    """A seeded dataset with heavy ties (small integer value domain)."""
+    n = n or int(rng.integers(2, 40))
+    d = d or int(rng.integers(1, 5))
+    domain = 4 if low_cardinality else 1000
+    values = rng.integers(0, domain, size=(n, d)).astype(float)
+    return Dataset.from_rows(values, names=tuple(f"c{i}" for i in range(d)))
+
+
+class TestEngineSelection:
+    def test_parse_defaults_and_known(self):
+        assert parse_engine(None) == DEFAULT_ENGINE
+        assert parse_engine("") == DEFAULT_ENGINE
+        assert parse_engine(" Columnar ") == "columnar"
+        assert parse_engine("rows") == "rows"
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            parse_engine("gpu")
+
+    def test_explicit_beats_ambient(self):
+        with use_engine("columnar"):
+            assert resolve_engine("rows") == "rows"
+            assert resolve_engine() == "columnar"
+
+    def test_ambient_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "columnar")
+        assert resolve_engine() == "columnar"
+        with use_engine("rows"):
+            assert resolve_engine() == "rows"
+        assert resolve_engine() == "columnar"
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine()
+
+    def test_default_is_rows(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_engine() is None
+        assert resolve_engine() == "rows"
+        assert set(ENGINES) == {"rows", "columnar"}
+
+    def test_use_engine_nests_and_restores(self):
+        with use_engine("columnar"):
+            with use_engine("rows"):
+                assert active_engine() == "rows"
+            assert active_engine() == "columnar"
+        assert active_engine() is None
+
+
+class TestEncoding:
+    def test_codes_preserve_order_and_equality(self):
+        rng = np.random.default_rng(1)
+        data = _random_dataset(rng, n=30, d=3)
+        codes = encode_dataset(data).codes
+        minimized = data.minimized
+        for c in range(data.n_dims):
+            for i in range(data.n_objects):
+                for j in range(data.n_objects):
+                    assert (codes[i, c] < codes[j, c]) == (
+                        minimized[i, c] < minimized[j, c]
+                    )
+                    assert (codes[i, c] == codes[j, c]) == (
+                        minimized[i, c] == minimized[j, c]
+                    )
+
+    def test_cached_per_instance(self):
+        rng = np.random.default_rng(2)
+        data = _random_dataset(rng)
+        assert encode_dataset(data) is encode_dataset(data)
+
+    def test_cardinalities(self):
+        data = Dataset.from_rows(
+            [[1, 5], [1, 7], [2, 5]], names=("x", "y")
+        )
+        encoded = encode_dataset(data)
+        assert encoded.cardinalities == (2, 2)
+        assert encoded.n_objects == 3
+        assert encoded.n_dims == 2
+
+    def test_codes_read_only(self):
+        rng = np.random.default_rng(3)
+        encoded = encode_dataset(_random_dataset(rng))
+        with pytest.raises(ValueError):
+            encoded.codes[0, 0] = 99
+
+
+class TestBitmaps:
+    def test_round_trip(self):
+        rng = np.random.default_rng(4)
+        for n in (1, 63, 64, 65, 130):
+            members = sorted(
+                rng.choice(n, size=rng.integers(0, n + 1), replace=False)
+            )
+            words = pack_bitmap(members, n)
+            assert words.dtype == np.uint64
+            assert list(unpack_bitmap(words, n)) == [int(m) for m in members]
+
+    def test_empty(self):
+        assert list(unpack_bitmap(pack_bitmap([], 70), 70)) == []
+
+
+class TestSkylineBitset:
+    def test_matches_brute_force_with_ties(self):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            n = int(rng.integers(1, 50))
+            d = int(rng.integers(1, 5))
+            m = rng.integers(0, 4, size=(n, d)).astype(float)
+            assert skyline_bitset(m) == sorted(skyline_brute(m, None))
+
+    def test_duplicate_rows_both_kept(self):
+        m = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 3.0]])
+        assert skyline_bitset(m) == [0, 1]
+
+    def test_single_dimension(self):
+        m = np.array([[3.0], [1.0], [1.0], [2.0]])
+        assert skyline_bitset(m) == [1, 2]
+
+    def test_empty(self):
+        assert skyline_bitset(np.empty((0, 3))) == []
+
+    def test_word_boundary_sizes(self):
+        rng = np.random.default_rng(6)
+        for n in (63, 64, 65, 128, 129):
+            m = rng.integers(0, 6, size=(n, 3)).astype(float)
+            assert skyline_bitset(m) == sorted(skyline_brute(m, None))
+
+
+def _group_fingerprints(dataset, groups):
+    return [
+        (tuple(sorted(g.members)), g.subspace, g.decisive, g.projection)
+        for g in groups
+    ]
+
+
+class TestStellarEquivalence:
+    """Property-style: rows and columnar stellar are bit-identical."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_datasets_with_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        data = _random_dataset(rng)
+        rows = stellar(data, engine="rows")
+        columnar = stellar(data, engine="columnar")
+        assert _group_fingerprints(data, rows.groups) == _group_fingerprints(
+            data, columnar.groups
+        )
+        assert rows.seeds == columnar.seeds
+
+    def test_duplicated_rows(self):
+        rng = np.random.default_rng(99)
+        base = rng.integers(0, 3, size=(10, 3)).astype(float)
+        values = np.vstack([base, base[:4]])  # exact duplicates appended
+        data = Dataset.from_rows(values, names=("a", "b", "c"))
+        rows = stellar(data, engine="rows")
+        columnar = stellar(data, engine="columnar")
+        assert _group_fingerprints(data, rows.groups) == _group_fingerprints(
+            data, columnar.groups
+        )
+
+    def test_single_dimension_dataset(self):
+        data = Dataset.from_rows([[3.0], [1.0], [1.0], [2.0]], names=("x",))
+        rows = stellar(data, engine="rows")
+        columnar = stellar(data, engine="columnar")
+        assert _group_fingerprints(data, rows.groups) == _group_fingerprints(
+            data, columnar.groups
+        )
+
+    def test_ambient_engine_is_honoured(self, running_example):
+        reference = stellar(running_example, engine="rows")
+        with use_engine("columnar"):
+            ambient = stellar(running_example)
+        assert _group_fingerprints(
+            running_example, reference.groups
+        ) == _group_fingerprints(running_example, ambient.groups)
+
+
+class TestQueryEquivalence:
+    """Every query kind agrees across engines, plan counters included."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_subspaces_results_and_counters(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        data = _random_dataset(rng, d=int(rng.integers(1, 5)))
+        cube = CompressedSkylineCube(data, stellar(data).groups)
+        rows_engine = QueryEngine(cube, engine="rows")
+        col_engine = QueryEngine(cube, engine="columnar")
+        for mask in range(1, 1 << data.n_dims):
+            name = data.format_subspace(mask)
+            rows_result = rows_engine.skyline(name)
+            rows_plan = dict(rows_engine.last_plan.counters)
+            col_result = col_engine.skyline(name)
+            col_plan = dict(col_engine.last_plan.counters)
+            assert rows_result == col_result, name
+            assert rows_plan == col_plan, name
+
+    def test_drill_down_and_roll_up(self, flight_routes):
+        cube = CompressedSkylineCube.build(flight_routes)
+        rows_engine = QueryEngine(cube, engine="rows")
+        col_engine = QueryEngine(cube, engine="columnar")
+        for kind in ("drill_down", "roll_up"):
+            sub = "price,traveltime"
+            assert getattr(rows_engine, kind)(sub) == getattr(
+                col_engine, kind
+            )(sub)
+            assert rows_engine.last_plan.counters == col_engine.last_plan.counters
+
+    def test_shared_query_kinds_unaffected(self, flight_routes):
+        cube = CompressedSkylineCube.build(flight_routes)
+        rows_engine = QueryEngine(cube, engine="rows")
+        col_engine = QueryEngine(cube, engine="columnar")
+        label = flight_routes.labels[0]
+        assert rows_engine.where_wins(label) == col_engine.where_wins(label)
+        assert rows_engine.wins_in(label, "price") == col_engine.wins_in(
+            label, "price"
+        )
+        assert rows_engine.top_frequent(3) == col_engine.top_frequent(3)
+
+    def test_engine_recorded_and_capped(self, flight_routes):
+        cube = CompressedSkylineCube.build(flight_routes)
+        assert QueryEngine(cube, engine="columnar").engine == "columnar"
+        assert QueryEngine(cube).engine == "rows"

@@ -7,7 +7,11 @@ import pytest
 
 from repro.core.stellar import stellar
 from repro.cube import CompressedSkylineCube, load_cube, save_cube
-from repro.cube.io import dataset_fingerprint
+from repro.cube.io import (
+    dataset_fingerprint,
+    load_snapshot_binary,
+    save_snapshot_binary,
+)
 
 
 class TestRoundTrip:
@@ -124,3 +128,92 @@ class TestValidation:
         path.write_text(json.dumps({"format": "something-else"}))
         with pytest.raises(ValueError, match="not a repro-skyline-cube"):
             load_cube(path, running_example)
+
+
+class TestBinarySnapshot:
+    """The mmap binary snapshot format (docs/COLUMNAR.md)."""
+
+    def _build(self, dataset):
+        return CompressedSkylineCube.build(dataset)
+
+    def test_round_trip_is_faithful(self, tmp_path, flight_routes):
+        cube = self._build(flight_routes)
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(cube, path)
+        loaded_data, loaded = load_snapshot_binary(path)
+        assert loaded_data.names == flight_routes.names
+        assert loaded_data.directions == flight_routes.directions
+        assert loaded_data.labels == flight_routes.labels
+        assert (loaded_data.values == flight_routes.values).all()
+        assert [(g.key, g.decisive, g.projection) for g in loaded.groups] == [
+            (g.key, g.decisive, g.projection) for g in cube.groups
+        ]
+
+    def test_loaded_cube_answers_queries(self, tmp_path, flight_routes):
+        cube = self._build(flight_routes)
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(cube, path)
+        _, loaded = load_snapshot_binary(path, flight_routes)
+        mask = flight_routes.parse_subspace("price,stops")
+        assert loaded.skyline_of(mask) == cube.skyline_of(mask)
+        assert loaded.top_frequent(3) == cube.top_frequent(3)
+
+    def test_load_cube_sniffs_binary_magic(self, tmp_path, flight_routes):
+        cube = self._build(flight_routes)
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(cube, path)
+        loaded = load_cube(path, flight_routes)
+        assert [g.key for g in loaded.groups] == [g.key for g in cube.groups]
+
+    def test_corrupt_payload_names_checksum(self, tmp_path, flight_routes):
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(self._build(flight_routes), path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            load_snapshot_binary(path)
+
+    def test_truncated_payload_rejected(self, tmp_path, flight_routes):
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(self._build(flight_routes), path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 8])
+        with pytest.raises(ValueError, match="truncated binary snapshot"):
+            load_snapshot_binary(path)
+
+    def test_truncated_header_rejected(self, tmp_path, flight_routes):
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(self._build(flight_routes), path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ValueError, match="truncated binary snapshot"):
+            load_snapshot_binary(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTABINv" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            load_snapshot_binary(path)
+
+    def test_fingerprint_mismatch_rejected(
+        self, tmp_path, running_example, flight_routes
+    ):
+        path = tmp_path / "cube.bin"
+        save_snapshot_binary(self._build(running_example), path)
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            load_snapshot_binary(path, flight_routes)
+
+    def test_write_is_atomic(self, tmp_path, flight_routes, monkeypatch):
+        # A crash mid-write must never leave a partial cube.bin behind:
+        # the payload goes through atomic_write_bytes (tmp file + rename).
+        import repro.cube.io as io_mod
+
+        def explode(path, data):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(io_mod, "atomic_write_bytes", explode)
+        path = tmp_path / "cube.bin"
+        with pytest.raises(RuntimeError):
+            save_snapshot_binary(self._build(flight_routes), path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []

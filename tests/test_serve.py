@@ -698,3 +698,59 @@ class TestServeCLI:
         finally:
             proc.terminate()
             proc.wait(timeout=30)
+
+
+class TestBinarySnapshotServing:
+    """Publish writes a binary sidecar; load prefers mmap, falls back to JSON."""
+
+    def test_publish_writes_binary_sidecar(self, published, tmp_path):
+        store, _, _, info = published
+        vdir = store.root / "routes" / info.version
+        assert (vdir / "cube.bin").is_file()
+        # The JSON cube stays alongside for old readers and for fallback.
+        assert (vdir / "cube.json.gz").is_file() or (vdir / "cube.json").is_file()
+
+    def test_load_prefers_binary(self, published):
+        from repro.obs import registry
+
+        store, dataset, cube, info = published
+        binary_loads = registry().counter("serve.store.loaded.binary")
+        before = binary_loads.value
+        loaded_data, loaded, _ = store.load("routes")
+        assert binary_loads.value == before + 1
+        assert (loaded_data.values == dataset.values).all()
+        assert [g.key for g in loaded.groups] == [g.key for g in cube.groups]
+
+    def test_corrupt_binary_falls_back_to_json(self, published):
+        from repro.obs import registry
+
+        store, dataset, cube, info = published
+        binary_path = store.root / "routes" / info.version / "cube.bin"
+        blob = bytearray(binary_path.read_bytes())
+        blob[-1] ^= 0x01
+        binary_path.write_bytes(bytes(blob))
+        binary_loads = registry().counter("serve.store.loaded.binary")
+        before = binary_loads.value
+        loaded_data, loaded, _ = store.load("routes")
+        assert binary_loads.value == before  # fallback path, not binary
+        assert [g.key for g in loaded.groups] == [g.key for g in cube.groups]
+
+    def test_missing_binary_falls_back_to_json(self, published):
+        # Pre-binary snapshots have no cube.bin at all; they must still load.
+        store, dataset, cube, info = published
+        (store.root / "routes" / info.version / "cube.bin").unlink()
+        _, loaded, _ = store.load("routes")
+        assert [g.key for g in loaded.groups] == [g.key for g in cube.groups]
+
+    def test_activation_latency_observed(self, published):
+        from repro.obs import registry
+
+        store = published[0]
+        hist = registry().histogram("serve.snapshot.activate.seconds")
+        before = hist.count
+        service = CubeService(store, reload_interval=0)
+        service.query("skyline", {"subspace": "price"})
+        assert hist.count == before + 1
+        # A repeat query on the same version must not re-activate.
+        service.query("skyline", {"subspace": "stops"})
+        assert hist.count == before + 1
