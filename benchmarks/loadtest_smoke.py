@@ -13,6 +13,15 @@ Drives the full operational loop the way production would:
 5. gate with ``repro bench diff --only`` on the tail-latency, error-rate
    and consistency metrics against the committed baseline entry.
 
+Both processes share a trace sink (``--trace-dir``), the server runs its
+cube builds on a process pool (``--parallel process:2``), and the smoke
+additionally asserts the request-correlation contract end to end: the
+OpenMetrics scrape carries histogram exemplars whose trace ids are
+reassemblable from the sink, and at least one slow publish trace crosses
+client -> HTTP -> engine -> pool worker with ``repro trace
+critical-path`` phase attribution summing to the measured latency within
+10%.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/loadtest_smoke.py \
@@ -25,12 +34,14 @@ Exit status 0 on success, 1 on a failed check or a gated regression.
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import subprocess
 import sys
 import tempfile
 import time
 from pathlib import Path
-from urllib.request import urlopen
+from urllib.request import Request, urlopen
 
 #: The pinned workload: every run appends like-for-like ledger entries.
 DATASET_ARGS = [
@@ -46,6 +57,11 @@ GATE_ONLY = ["*_p99_s", "error_rate", "consistency_violations"]
 #: machines; a real p99 regression in this codebase is algorithmic and
 #: shows up far beyond 4x.
 GATE_THRESHOLD = "4.0"
+#: Trace-sink slow threshold shared by client and server: low enough that
+#: every snapshot publish (a full cube build, ~60ms+ on this dataset) is
+#: deterministically kept, giving the smoke a guaranteed trace that
+#: crosses into the server's process-pool workers.
+TRACE_SLOW_MS = "50"
 
 
 def check(condition: bool, message: str) -> None:
@@ -61,6 +77,64 @@ def run_cli(args: list[str]) -> subprocess.CompletedProcess:
         capture_output=True,
         text=True,
     )
+
+
+def check_tracing(trace_dir: Path, om_type: str, om_scrape: str) -> None:
+    """Assert the end-to-end request-correlation contract (see docstring)."""
+    check(
+        "application/openmetrics-text" in om_type,
+        f"Accept negotiation returned OpenMetrics ({om_type})",
+    )
+    check(om_scrape.rstrip().endswith("# EOF"), "OpenMetrics scrape ends in # EOF")
+    exemplar_ids = set(
+        re.findall(r'# \{trace_id="([0-9a-f]{32})"\}', om_scrape)
+    )
+    check(bool(exemplar_ids), "latency-histogram exemplars reference trace ids")
+    stored = {path.stem for path in trace_dir.glob("*.ndjson")}
+    linked = exemplar_ids & stored
+    check(
+        bool(linked),
+        f"{len(linked)}/{len(exemplar_ids)} exemplar trace ids present in sink",
+    )
+    cp = run_cli(
+        ["trace", "critical-path", sorted(linked)[0],
+         "--trace-dir", str(trace_dir), "--json"]
+    )
+    check(cp.returncode == 0, "exemplar trace reassembles via critical-path")
+
+    ls = run_cli(["trace", "ls", "--trace-dir", str(trace_dir),
+                  "--limit", "100000", "--json"])
+    check(ls.returncode == 0, "trace ls over the shared sink")
+    summaries = json.loads(ls.stdout)
+    # Client-recorded trace ids stitched with the server half of the trace.
+    both_sided = [
+        s for s in summaries
+        if {"client", "server"} <= set(s["sources"])
+    ]
+    check(bool(both_sided), "client+server stitched traces present in sink")
+    # A slow publish fans the cube build onto the process pool; its trace
+    # must cross client -> HTTP -> engine -> pool worker.
+    crossing = [s for s in both_sided if "shard" in s["names"]]
+    check(bool(crossing), "a trace crosses into process-pool worker shards")
+    target = max(crossing, key=lambda s: s["duration_s"])
+    cp = run_cli(
+        ["trace", "critical-path", target["trace_id"],
+         "--trace-dir", str(trace_dir), "--json"]
+    )
+    check(cp.returncode == 0, "critical-path reassembles the crossing trace")
+    analysis = json.loads(cp.stdout)
+    total, attributed = analysis["total_s"], analysis["attributed_s"]
+    check(
+        abs(attributed - total) <= 0.1 * total,
+        f"phase attribution sums to the measured latency "
+        f"({attributed * 1e3:.2f} of {total * 1e3:.2f} ms)",
+    )
+    check(
+        "kernel" in analysis["phases"],
+        "kernel (pool shard) phase attributed on the publish trace",
+    )
+    pids = {step["pid"] for step in analysis["steps"]}
+    check(len(pids) >= 3, f"trace spans {len(pids)} distinct processes")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         check(generated.returncode == 0, "pinned dataset generated")
 
+        trace_dir = out / "traces"
         server = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
@@ -98,6 +173,9 @@ def main(argv: list[str] | None = None) -> int:
                 "--port", "0",
                 "--snapshot", "loadtest",
                 "--slo-interval", "1",
+                "--parallel", "process:2",
+                "--trace-dir", str(trace_dir),
+                "--trace-slow-ms", TRACE_SLOW_MS,
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -129,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
                     "--report", str(out / "loadtest_report.json"),
                     "--ledger-dir", args.ledger_dir,
                     "--scale", "smoke",
+                    "--trace-dir", str(trace_dir),
+                    "--trace-slow-ms", TRACE_SLOW_MS,
                 ]
             )
             sys.stdout.write(loadtest.stdout)
@@ -148,18 +228,27 @@ def main(argv: list[str] | None = None) -> int:
 
             with urlopen(f"{url}/metrics", timeout=10) as response:
                 scrape = response.read().decode()
+            om_request = Request(
+                f"{url}/metrics",
+                headers={"Accept": "application/openmetrics-text"},
+            )
+            with urlopen(om_request, timeout=10) as response:
+                om_type = response.headers.get("Content-Type", "")
+                om_scrape = response.read().decode()
         finally:
             server.terminate()
             server.wait(timeout=30)
 
     scrape_path = out / "loadtest_scrape.txt"
     scrape_path.write_text(scrape)
+    (out / "loadtest_scrape_openmetrics.txt").write_text(om_scrape)
     print(f"[loadtest-smoke] scrape written to {scrape_path}")
     check(
         "repro_serve_request_skyline_seconds_bucket" in scrape,
         "per-endpoint latency histogram exported with le buckets",
     )
     check("repro_slo_" in scrape, "slo.* gauges exported by the live server")
+    check_tracing(trace_dir, om_type, om_scrape)
 
     if args.no_gate:
         print("[loadtest-smoke] gate skipped (--no-gate)")

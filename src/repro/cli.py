@@ -468,6 +468,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="per-endpoint latency-SLO threshold (default 250)",
     )
+    p_serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="tail-sample request traces into this sink directory "
+        "(browse with `repro trace`; default: tracing off)",
+    )
+    p_serve.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="requests at least this slow are always kept by the trace "
+        "sink (default 100)",
+    )
 
     p_load = sub.add_parser(
         "loadtest",
@@ -597,6 +612,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any SLO with traffic is violated "
         "(consistency violations always fail the run)",
     )
+    p_load.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="tail-sample client-side request spans into this sink "
+        "directory; point it at the server's --trace-dir to get "
+        "stitched client+server traces (default: tracing off)",
+    )
+    p_load.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="requests at least this slow are always kept by the trace "
+        "sink; match the server's setting (default 100)",
+    )
 
     p_flight = sub.add_parser(
         "flight", help="flight-recorder utilities", parents=[obs]
@@ -617,6 +648,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="events shown by `flight show` (default 10)",
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="browse a trace sink: list traces, show one as a span tree, "
+        "or attribute a request's latency to phases",
+        parents=[obs],
+    )
+    p_trace.add_argument(
+        "action",
+        choices=["ls", "show", "critical-path"],
+        help="ls = newest-first trace summaries | show = one trace's "
+        "cross-process span tree | critical-path = per-phase latency "
+        "attribution for one trace",
+    )
+    p_trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="32-hex trace id (required for show / critical-path)",
+    )
+    p_trace.add_argument(
+        "--trace-dir",
+        required=True,
+        metavar="DIR",
+        help="the sink directory written by `repro serve --trace-dir` "
+        "and/or `repro loadtest --trace-dir`",
+    )
+    p_trace.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="traces listed by `trace ls` (default 20)",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table/tree",
+    )
+
     return parser
 
 
@@ -634,6 +704,7 @@ def main(argv: list[str] | None = None) -> int:
         "flight": _cmd_flight,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "trace": _cmd_trace,
     }[args.command]
     return _with_telemetry(handler, args)
 
@@ -728,10 +799,13 @@ def _with_telemetry(handler, args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
     import time
 
     from .cube import CompressedSkylineCube
     from .data import load_csv
+    from .parallel import ENV_VAR as PARALLEL_ENV
+    from .parallel import active_parallel
     from .serve import (
         AdmissionController,
         CubeService,
@@ -739,6 +813,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         SnapshotStore,
         start_server,
     )
+
+    ambient = active_parallel()
+    if ambient is not None:
+        # --parallel installs a ContextVar, which the HTTP server's fresh
+        # handler threads do not inherit; promote it to the process-global
+        # env override so every request resolves the same backend.
+        os.environ[PARALLEL_ENV] = ambient.describe()
 
     try:
         cache = ResultCache(
@@ -764,12 +845,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"({info.n_objects} objects, {info.n_groups} groups)"
         )
 
+    trace_sink = None
+    if args.trace_dir:
+        from .obs.tracesink import TraceSink
+
+        trace_sink = TraceSink(
+            args.trace_dir, slow_threshold_s=args.trace_slow_ms / 1e3
+        )
+        print(f"tracing into {args.trace_dir} (tail-sampled)")
+
     service = CubeService(
         store,
         cache=cache,
         admission=admission,
         default_snapshot=args.snapshot,
         reload_interval=args.reload_interval,
+        trace_sink=trace_sink,
     )
     if args.preload:
         for name in service.preload():
@@ -834,6 +925,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             snapshot=args.snapshot,
             slo_threshold_seconds=args.slo_threshold_ms / 1e3,
             slo_target=args.slo_target,
+            trace_dir=args.trace_dir,
+            trace_slow_ms=args.trace_slow_ms,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -858,6 +951,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         )
 
         tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+        trace_sink = None
+        if args.trace_dir:
+            from .obs.tracesink import TraceSink
+
+            # Self-hosted server shares the client's sink directory, so
+            # one `repro trace show` sees both halves of every trace.
+            trace_sink = TraceSink(
+                args.trace_dir, slow_threshold_s=args.trace_slow_ms / 1e3
+            )
         service = CubeService(
             SnapshotStore(Path(tmp.name) / "snapshots"),
             cache=ResultCache(max_entries=args.cache_size),
@@ -866,6 +968,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             ),
             default_snapshot=args.snapshot,
             reload_interval=0.1,
+            trace_sink=trace_sink,
         )
         server = start_server(service)
         url = server.url
@@ -921,6 +1024,85 @@ def _cmd_flight(args: argparse.Namespace) -> int:
         print("error: flight recorder is disabled", file=sys.stderr)
         return 2
     print(f"flight record written to {written}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_span_tree
+    from .obs.tracesink import (
+        assemble_trace,
+        critical_path,
+        list_traces,
+        load_trace,
+    )
+
+    if not Path(args.trace_dir).is_dir():
+        print(f"error: no trace sink at {args.trace_dir}", file=sys.stderr)
+        return 2
+
+    if args.action == "ls":
+        summaries = list_traces(args.trace_dir)[: max(args.limit, 0)]
+        if args.json:
+            print(json.dumps(summaries, indent=1, default=str))
+            return 0
+        if not summaries:
+            print("no traces in sink")
+            return 0
+        for s in summaries:
+            sources = "+".join(s["sources"])
+            endpoint = s["endpoint"] or "-"
+            print(
+                f"{s['trace_id']}  {s['duration_s'] * 1e3:8.2f} ms  "
+                f"{s['spans']:4d} spans  {sources:<20s} {endpoint}"
+            )
+        return 0
+
+    if not args.trace_id:
+        print(f"error: trace {args.action} requires a trace id", file=sys.stderr)
+        return 2
+    records = load_trace(args.trace_dir, args.trace_id)
+    if not records:
+        print(
+            f"error: trace {args.trace_id} not found in {args.trace_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    roots = assemble_trace(records)
+
+    if args.action == "show":
+        if args.json:
+            print(json.dumps(records, indent=1, default=str))
+            return 0
+        sources = sorted({r.get("source", "?") for r in records})
+        pids = sorted({r.get("pid", 0) for r in records})
+        print(
+            f"trace {args.trace_id}: {len(records)} spans from "
+            f"{'+'.join(sources)} (pids {', '.join(map(str, pids))})"
+        )
+        print(render_span_tree([r.span for r in roots]))
+        return 0
+
+    # critical-path: phase attribution over the assembled tree.
+    analysis = critical_path(roots)
+    if args.json:
+        print(json.dumps(analysis, indent=1, default=str))
+        return 0
+    total = analysis["total_s"]
+    print(
+        f"trace {args.trace_id}: {total * 1e3:.2f} ms total, "
+        f"{analysis['attributed_s'] * 1e3:.2f} ms attributed"
+    )
+    for phase, seconds in analysis["phases"].items():
+        share = seconds / total if total else 0.0
+        print(f"  {phase:<10s} {seconds * 1e3:9.3f} ms  {share:6.1%}")
+    print("slowest steps (self time):")
+    for step in analysis["steps"][:10]:
+        print(
+            f"  {step['self_s'] * 1e3:9.3f} ms  {step['name']:<24s} "
+            f"[{step['phase']}] {step['source']} pid={step['pid']}"
+        )
     return 0
 
 

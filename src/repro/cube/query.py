@@ -31,6 +31,7 @@ from ..columnar.kernels import GroupIndex
 from ..core.bitset import iter_bits
 from ..core.dominance import COMPARISONS
 from ..core.types import Dataset, SkylineGroup
+from ..obs.context import current_trace_context
 from ..obs.logging import get_logger
 from ..obs.metrics import registry
 from ..obs.slowlog import SlowQuery, slow_query_log
@@ -216,12 +217,15 @@ class QueryEngine:
             if value:
                 reg.counter(f"query.{name}").inc(value)
         reg.counter(f"query.strategy.{plan.strategy}").inc()
+        ctx = current_trace_context()
         slow_query_log().record(
             SlowQuery(
                 kind=f"{family}.{kind}",
                 argument=argument,
                 seconds=plan.seconds,
                 span_id=sp.span_id,
+                trace_id=ctx.trace_id if ctx is not None else "",
+                endpoint=ctx.endpoint if ctx is not None else "",
                 plan=plan.to_dict(),
             )
         )

@@ -34,6 +34,7 @@ from .runner import LoadtestResult, RequestRecord
 
 __all__ = [
     "percentile",
+    "slowest",
     "EndpointStats",
     "CapacityModel",
     "LoadtestReport",
@@ -69,6 +70,10 @@ class EndpointStats:
     p95_s: float
     p99_s: float
     mean_s: float
+    #: The endpoint's worst requests (``slowest()`` output), each carrying
+    #: the client-generated ``trace_id`` so report -> ``repro trace show``
+    #: is one command, and the server's echoed ``cube_version``.
+    slowest: tuple[dict, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-ready form of this endpoint's stats."""
@@ -84,6 +89,7 @@ class EndpointStats:
             "p95_s": round(self.p95_s, 6),
             "p99_s": round(self.p99_s, 6),
             "mean_s": round(self.mean_s, 6),
+            "slowest": [dict(s) for s in self.slowest],
         }
 
 
@@ -134,6 +140,29 @@ class CapacityModel:
                 f"(cube: {self.n_groups} groups)"
             )
         return "\n".join(lines)
+
+
+def slowest(
+    records: list[RequestRecord], limit: int = 5
+) -> tuple[dict, ...]:
+    """The ``limit`` slowest requests, worst first, trace ids attached.
+
+    Each entry is report -> trace lookup material: the open-loop latency,
+    the client-generated ``trace_id`` (same id the server's sink stores,
+    so ``repro trace show <id>`` works directly), the echoed
+    ``cube_version``, and the outcome (status / cached).
+    """
+    worst = sorted(records, key=lambda r: r.seconds, reverse=True)[:limit]
+    return tuple(
+        {
+            "seconds": round(r.seconds, 6),
+            "status": r.status,
+            "cached": r.cached,
+            "trace_id": r.trace_id,
+            "cube_version": r.cube_version,
+        }
+        for r in worst
+    )
 
 
 def fit_capacity(
@@ -258,6 +287,15 @@ class LoadtestReport:
                 f"p99 {e.p99_s * 1e3:8.2f} ms  "
                 f"shed {e.shed}  hits {e.cache_hits}"
             )
+            for s in e.slowest:
+                tail = f" version={s['cube_version']}" if s["cube_version"] else ""
+                trace = s["trace_id"] or "-"
+                lines.append(
+                    f"    slow {s['seconds'] * 1e3:8.2f} ms  "
+                    f"status={s['status']} "
+                    f"cached={'y' if s['cached'] else 'n'}  "
+                    f"trace={trace}{tail}"
+                )
         if self.churn:
             lines.append(
                 "  churn: "
@@ -307,6 +345,7 @@ def summarize(result: LoadtestResult) -> LoadtestReport:
                 p95_s=percentile(latencies, 0.95),
                 p99_s=percentile(latencies, 0.99),
                 mean_s=sum(latencies) / len(latencies),
+                slowest=slowest(group),
             )
         )
     latencies = [r.seconds for r in records]

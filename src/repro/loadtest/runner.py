@@ -32,9 +32,12 @@ from urllib.error import HTTPError, URLError
 from urllib.parse import urlencode
 
 from ..core.types import Dataset
+from ..obs.context import TRACEPARENT_HEADER, TraceContext, use_trace_context
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry
 from ..obs.slo import SLOEngine, SLOReport, default_serving_slos
+from ..obs.tracesink import TraceSink
+from ..obs.tracing import Tracer
 from ..skyline import compute_skyline
 from .workload import WorkloadMix
 
@@ -64,6 +67,15 @@ class LoadtestConfig:
     slo_target: float = 0.99
     availability_target: float = 0.999
     http_timeout: float = 30.0
+    #: Directory for the client half of each sampled trace (None disables
+    #: client-side trace capture).  Point it at the *same* directory the
+    #: server's ``--trace-dir`` uses and the deterministic tail-sampling
+    #: policy keeps the two halves of the same traces, so ``repro trace
+    #: critical-path`` sees client, server, and pool-worker spans together.
+    trace_dir: str | None = None
+    #: Client-side tail-sampling slow threshold; keep it equal to the
+    #: server's so both halves of a slow trace survive sampling.
+    trace_slow_ms: float = 100.0
 
     def __post_init__(self) -> None:
         if self.duration_seconds <= 0:
@@ -90,6 +102,9 @@ class RequestRecord:
     cube_version: str = ""
     shed_reason: str = ""  # queue_full | timeout ('' when not shed)
     error: str = ""  # transport-level failure, if any
+    #: The trace id the client generated and sent via ``traceparent`` --
+    #: also the server-side trace's id, lookup-able with ``repro trace``.
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -195,25 +210,34 @@ class _Oracle:
 
 
 def _http_json(
-    url: str, body: dict | None = None, timeout: float = 30.0
-) -> tuple[int, dict]:
-    """One JSON request; HTTP errors come back as (status, payload)."""
+    url: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+    headers: dict | None = None,
+) -> tuple[int, dict, dict]:
+    """One JSON request; HTTP errors come back as (status, payload, headers)."""
+    request_headers = dict(headers or {})
     if body is None:
-        request = urllib.request.Request(url)
+        request = urllib.request.Request(url, headers=request_headers)
     else:
+        request_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             url,
             data=json.dumps(body).encode(),
-            headers={"Content-Type": "application/json"},
+            headers=request_headers,
         )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, json.loads(response.read())
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
     except HTTPError as exc:
         try:
-            return exc.code, json.loads(exc.read())
+            return exc.code, json.loads(exc.read()), dict(exc.headers or {})
         except (ValueError, json.JSONDecodeError):
-            return exc.code, {}
+            return exc.code, {}, dict(exc.headers or {})
 
 
 class _Runner:
@@ -239,6 +263,17 @@ class _Runner:
         self.read_inconsistencies: list[dict] = []
         self.churn_stats = {"inserts": 0, "deletes": 0, "publishes": 0}
         self.churn_errors: list[str] = []
+        #: Client half of the request-correlation layer (None when the run
+        #: is untraced).  Default thresholds match the server's sink so the
+        #: deterministic hash keeps the same baseline traces on both sides.
+        self.trace_sink = (
+            TraceSink(
+                config.trace_dir,
+                slow_threshold_s=config.trace_slow_ms / 1e3,
+            )
+            if config.trace_dir
+            else None
+        )
         # Client-side SLO accounting over open-loop latencies.
         self.registry = MetricsRegistry()
         self.engine = SLOEngine(
@@ -253,6 +288,43 @@ class _Runner:
 
     # -- request issuing ---------------------------------------------------
 
+    def _offer_client_span(self, root, status: int, error: str = "") -> None:
+        """Offer the client half of a request's trace to the sink."""
+        if self.trace_sink is None:
+            return
+        self.trace_sink.offer_span(
+            root,
+            source="client",
+            error=status >= 500 or status == 0 or bool(error),
+            shed=status == 503,
+        )
+
+    def _traced_http(
+        self, endpoint: str, url: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One control-plane call under a fresh per-request trace context.
+
+        Publishes and maintenance mutations go through here so even the
+        churn thread's requests are correlated end to end (those are the
+        ones that cross the server's process pool during cube rebuilds).
+        """
+        ctx = TraceContext.new(endpoint=endpoint)
+        tracer = Tracer()
+        with use_trace_context(ctx):
+            with tracer.span("client.request", endpoint=endpoint) as root:
+                status, payload, _ = _http_json(
+                    url,
+                    body,
+                    timeout=self.config.http_timeout,
+                    headers={
+                        TRACEPARENT_HEADER: ctx.child(
+                            root.span_id
+                        ).to_traceparent()
+                    },
+                )
+        self._offer_client_span(root, status)
+        return status, payload
+
     def _issue(self, request, arrival: float) -> None:
         params = dict(request.params)
         if self.config.snapshot:
@@ -260,13 +332,31 @@ class _Runner:
         if self.config.deadline_ms is not None:
             params["deadline_ms"] = f"{self.config.deadline_ms:g}"
         url = f"{self.base_url}{request.path}?{urlencode(params)}"
-        sent = time.perf_counter()
+        # Fresh context per request: the span covers send -> completion, so
+        # the reassembled trace's root duration is the client-measured
+        # service time (the open-loop ``seconds`` additionally counts
+        # scheduling lag, which no server span can account for).
+        ctx = TraceContext.new(endpoint=request.path)
+        tracer = Tracer()
         status, payload, error = 0, {}, ""
-        try:
-            status, payload = _http_json(url, timeout=self.config.http_timeout)
-        except (URLError, OSError, ValueError) as exc:
-            error = repr(exc)
-        done = time.perf_counter()
+        with use_trace_context(ctx):
+            with tracer.span(
+                "client.request", endpoint=request.path, kind=request.kind
+            ) as client_span:
+                sent = time.perf_counter()
+                try:
+                    status, payload, _ = _http_json(
+                        url,
+                        timeout=self.config.http_timeout,
+                        headers={
+                            TRACEPARENT_HEADER: ctx.child(
+                                client_span.span_id
+                            ).to_traceparent()
+                        },
+                    )
+                except (URLError, OSError, ValueError) as exc:
+                    error = repr(exc)
+                done = time.perf_counter()
         record = RequestRecord(
             kind=request.kind,
             status=status,
@@ -276,7 +366,9 @@ class _Runner:
             cube_version=str(payload.get("cube_version", "")),
             shed_reason=str(payload.get("reason", "")) if status == 503 else "",
             error=error,
+            trace_id=ctx.trace_id,
         )
+        self._offer_client_span(client_span, status, error)
         self._observe(record)
         if (
             record.ok
@@ -328,10 +420,10 @@ class _Runner:
         if self.csv_text is None:
             return
         name = self.config.snapshot or "loadtest"
-        status, ack = _http_json(
+        status, ack = self._traced_http(
+            "/v1/snapshots/publish",
             f"{self.base_url}/v1/snapshots/publish",
             {"name": name, "csv": self.csv_text},
-            timeout=self.config.http_timeout,
         )
         if status != 200:
             raise RuntimeError(f"publish failed ({status}): {ack}")
@@ -355,10 +447,10 @@ class _Runner:
                     if pending_delete is None:
                         row, label = self.mix.churn_row(rng, index)
                         index += 1
-                        status, ack = _http_json(
+                        status, ack = self._traced_http(
+                            "/v1/maintenance/insert",
                             f"{self.base_url}/v1/maintenance/insert",
                             {"row": row, "label": label, "snapshot": name},
-                            timeout=self.config.http_timeout,
                         )
                         if status == 200:
                             self.oracle.record_mutation(
@@ -369,10 +461,10 @@ class _Runner:
                         else:
                             self.churn_errors.append(f"insert {status}: {ack}")
                     else:
-                        status, ack = _http_json(
+                        status, ack = self._traced_http(
+                            "/v1/maintenance/delete",
                             f"{self.base_url}/v1/maintenance/delete",
                             {"label": pending_delete, "snapshot": name},
-                            timeout=self.config.http_timeout,
                         )
                         if status == 200:
                             self.oracle.record_mutation(
@@ -495,7 +587,7 @@ class _Runner:
     def _server_groups(self) -> int | None:
         """The served cube's group count (feeds the capacity model)."""
         try:
-            status, payload = _http_json(
+            status, payload, _ = _http_json(
                 f"{self.base_url}/v1/snapshots", timeout=self.config.http_timeout
             )
         except (URLError, OSError):

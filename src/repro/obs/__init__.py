@@ -25,6 +25,16 @@ The CLI exposes all of it through global ``--trace[=FILE]``, ``--metrics``,
 and ``--progress[=MODE]`` flags.
 """
 
+from .context import (
+    TRACE_ID_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_trace_context,
+    format_span_id,
+    parse_traceparent,
+    trace_keep,
+    use_trace_context,
+)
 from .export import (
     render_span_tree,
     spans_from_ndjson,
@@ -78,8 +88,12 @@ from .progress import (
     tick,
 )
 from .promexport import (
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
     MetricsServer,
+    negotiate_exposition,
     prometheus_name,
+    render_openmetrics,
     render_prometheus,
     start_metrics_server,
 )
@@ -99,6 +113,14 @@ from .slowlog import (
     configure_slow_query_log,
     reset_slow_queries,
     slow_query_log,
+)
+from .tracesink import (
+    TraceSink,
+    assemble_trace,
+    critical_path,
+    list_traces,
+    load_trace,
+    span_records,
 )
 from .tracing import (
     NULL_SPAN,
@@ -129,6 +151,21 @@ __all__ = [
     "SpanBackedTimings",
     "set_span_observer",
     "open_span_depth",
+    # trace context + sink
+    "TraceContext",
+    "TRACEPARENT_HEADER",
+    "TRACE_ID_HEADER",
+    "current_trace_context",
+    "use_trace_context",
+    "parse_traceparent",
+    "format_span_id",
+    "trace_keep",
+    "TraceSink",
+    "span_records",
+    "list_traces",
+    "load_trace",
+    "assemble_trace",
+    "critical_path",
     # metrics
     "Counter",
     "Gauge",
@@ -155,9 +192,13 @@ __all__ = [
     "reset_logging",
     "get_logger",
     "log_event",
-    # prometheus export
+    # prometheus / openmetrics export
     "prometheus_name",
     "render_prometheus",
+    "render_openmetrics",
+    "negotiate_exposition",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
     "MetricsServer",
     "start_metrics_server",
     # SLOs

@@ -88,20 +88,22 @@ def spans_to_ndjson(spans: Span | list[Span]) -> str:
         nonlocal next_id
         sid = next_id
         next_id += 1
-        lines.append(
-            json.dumps(
-                {
-                    "id": sid,
-                    "parent": parent,
-                    "name": span.name,
-                    "start_ns": span.start_ns,
-                    "end_ns": span.end_ns,
-                    "attributes": span.attributes,
-                    "counters": span.counters,
-                },
-                sort_keys=True,
-            )
-        )
+        payload = {
+            "id": sid,
+            "parent": parent,
+            "name": span.name,
+            "start_ns": span.start_ns,
+            "end_ns": span.end_ns,
+            "attributes": span.attributes,
+            "counters": span.counters,
+        }
+        if span.trace_id:
+            # Request-correlated spans also carry their stable cross-process
+            # ids so trace files can be joined against sink/flight records.
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+            payload["parent_span_id"] = span.parent_span_id
+        lines.append(json.dumps(payload, sort_keys=True))
         for child in span.children:
             emit(child, sid)
 
@@ -125,7 +127,11 @@ def spans_from_ndjson(text: str) -> list[Span]:
             end_ns=payload.get("end_ns"),
             attributes=dict(payload.get("attributes", {})),
             counters=dict(payload.get("counters", {})),
+            trace_id=str(payload.get("trace_id", "")),
         )
+        if "span_id" in payload:
+            span.span_id = int(payload["span_id"])
+            span.parent_span_id = int(payload.get("parent_span_id", 0))
         by_id[payload["id"]] = span
         parent = payload.get("parent")
         if parent is None:

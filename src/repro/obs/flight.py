@@ -174,14 +174,21 @@ def _observe_span(event: str, span: object) -> None:
     recorder = _RECORDER
     if recorder is None:
         return
+    trace = getattr(span, "trace_id", "")
     if event == "start":
-        recorder.record("span.start", name=span.name, span_id=span.span_id)
+        recorder.record(
+            "span.start",
+            name=span.name,
+            span_id=span.span_id,
+            **({"trace_id": trace} if trace else {}),
+        )
     else:
         recorder.record(
             "span.end",
             name=span.name,
             span_id=span.span_id,
             seconds=round(span.duration_seconds, 6),
+            **({"trace_id": trace} if trace else {}),
             **({"counters": dict(span.counters)} if span.counters else {}),
         )
 

@@ -24,6 +24,7 @@ import logging
 import sys
 from typing import Any
 
+from .context import current_trace_context
 from .tracing import current_tracer
 
 __all__ = [
@@ -49,8 +50,10 @@ class JsonFormatter(logging.Formatter):
 
     Fields: ``ts`` (epoch seconds), ``level``, ``logger``, ``event`` (the
     formatted message), plus ``span``/``span_id`` when a tracing span is
-    open in the emitting context, plus every ``extra=`` key passed by the
-    call site.  Non-JSON-serialisable values fall back to ``repr``.
+    open in the emitting context, plus ``trace_id`` when a request trace
+    context is installed (:mod:`repro.obs.context`), plus every ``extra=``
+    key passed by the call site.  Non-JSON-serialisable values fall back
+    to ``repr``.
     """
 
     def format(self, record: logging.LogRecord) -> str:
@@ -66,6 +69,9 @@ class JsonFormatter(logging.Formatter):
         if current is not None:
             payload["span"] = current.name
             payload["span_id"] = current.span_id
+        ctx = current_trace_context()
+        if ctx is not None:
+            payload["trace_id"] = ctx.trace_id
         for key, value in record.__dict__.items():
             if key not in _RESERVED and not key.startswith("_"):
                 payload[key] = value

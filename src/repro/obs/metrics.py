@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from bisect import bisect_left
 
 __all__ = [
@@ -128,7 +129,8 @@ class Histogram:
     """
 
     __slots__ = (
-        "name", "bounds", "counts", "count", "total", "_min", "_max", "_lock",
+        "name", "bounds", "counts", "count", "total", "_min", "_max",
+        "_exemplars", "_lock",
     )
 
     def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
@@ -141,18 +143,35 @@ class Histogram:
         self.total = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: bucket index -> (trace_id, observed value, unix timestamp); the
+        #: last sampled trace that landed in each bucket, exported as an
+        #: OpenMetrics exemplar (see repro.obs.promexport).
+        self._exemplars: dict[int, tuple[str, float, float]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(self, value: float, *, trace_id: str | None = None) -> None:
+        """Record one sample, optionally tagged with a trace exemplar.
+
+        ``trace_id`` should only be passed for *sampled* requests (ones a
+        trace sink actually kept), so exemplars always point at traces
+        that can be looked up with ``repro trace show``.
+        """
         with self._lock:
-            self.counts[bisect_left(self.bounds, value)] += 1
+            bucket = bisect_left(self.bounds, value)
+            self.counts[bucket] += 1
             self.count += 1
             self.total += value
             if value < self._min:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if trace_id:
+                self._exemplars[bucket] = (trace_id, value, time.time())
+
+    def exemplars(self) -> dict[int, tuple[str, float, float]]:
+        """Per-bucket ``(trace_id, value, timestamp)`` exemplars (a copy)."""
+        with self._lock:
+            return dict(self._exemplars)
 
     @property
     def mean(self) -> float:
@@ -219,6 +238,7 @@ class Histogram:
             self.total = 0.0
             self._min = math.inf
             self._max = -math.inf
+            self._exemplars = {}
 
     def summary(self) -> dict[str, float]:
         """Headline statistics as a plain dict."""

@@ -32,9 +32,17 @@ from .metrics import Histogram, MetricsRegistry, registry
 __all__ = [
     "prometheus_name",
     "render_prometheus",
+    "render_openmetrics",
+    "negotiate_exposition",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
     "MetricsServer",
     "start_metrics_server",
 ]
+
+#: Content types for the two supported exposition formats.
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Prefix applied to every exported metric name.
 _PREFIX = "repro_"
@@ -72,17 +80,40 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _render_histogram(name: str, hist: Histogram, lines: list[str]) -> None:
+def _render_histogram(
+    name: str,
+    hist: Histogram,
+    lines: list[str],
+    *,
+    exemplars: dict[int, tuple[str, float, float]] | None = None,
+) -> None:
     lines.append(f"# TYPE {name} histogram")
+    exemplars = exemplars or {}
     cumulative = 0
-    for bound, count in zip(hist.bounds, hist.counts):
+    for i, (bound, count) in enumerate(zip(hist.bounds, hist.counts)):
         cumulative += count
-        lines.append(
-            f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-        )
-    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        line = f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+        lines.append(line + _exemplar_suffix(exemplars.get(i)))
+    inf_line = f'{name}_bucket{{le="+Inf"}} {hist.count}'
+    lines.append(inf_line + _exemplar_suffix(exemplars.get(len(hist.bounds))))
     lines.append(f"{name}_sum {_format_value(hist.total)}")
     lines.append(f"{name}_count {hist.count}")
+
+
+def _exemplar_suffix(exemplar: tuple[str, float, float] | None) -> str:
+    """OpenMetrics exemplar clause for a ``_bucket`` line ("" when absent).
+
+    Format: `` # {trace_id="<id>"} <value> <unix timestamp>`` -- the last
+    sampled trace that landed in the bucket, so a Grafana heatmap cell (or
+    a grep of the scrape) links straight to ``repro trace show <id>``.
+    """
+    if exemplar is None:
+        return ""
+    trace_id, value, ts = exemplar
+    return (
+        f' # {{trace_id="{_escape_label(trace_id)}"}}'
+        f" {_format_value(value)} {ts:.3f}"
+    )
 
 
 def render_prometheus(reg: MetricsRegistry | None = None) -> str:
@@ -114,6 +145,53 @@ def render_prometheus(reg: MetricsRegistry | None = None) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def render_openmetrics(reg: MetricsRegistry | None = None) -> str:
+    """The registry in OpenMetrics 1.0 exposition format, with exemplars.
+
+    Differences from :func:`render_prometheus`: counter *families* are
+    named without the ``_total`` suffix (only the sample carries it),
+    histogram ``_bucket`` samples carry ``# {trace_id="..."}`` exemplars
+    for buckets whose last sampled request was kept by a trace sink, and
+    the exposition always terminates with the mandatory ``# EOF`` line.
+    """
+    reg = reg if reg is not None else registry()
+    lines: list[str] = []
+    for raw, counter in reg.counters().items():
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_format_value(counter.value)}")
+    for raw, gauge in reg.gauges().items():
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(gauge.value)}")
+    for raw, info in reg.infos().items():
+        if not info.value:
+            continue
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f'{name}{{value="{_escape_label(info.value)}"}} 1')
+    for raw, hist in reg.histograms().items():
+        _render_histogram(
+            prometheus_name(raw), hist, lines, exemplars=hist.exemplars()
+        )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def negotiate_exposition(accept: str | None) -> tuple[str, Callable[..., str]]:
+    """Pick the exposition format for an ``Accept`` header value.
+
+    Returns ``(content_type, renderer)``.  Any ``Accept`` mentioning
+    ``application/openmetrics-text`` gets OpenMetrics (with exemplars and
+    the ``# EOF`` terminator); everything else -- including absent or
+    wildcard headers -- stays on the legacy 0.0.4 text format, matching
+    how Prometheus itself falls back.
+    """
+    if accept and "application/openmetrics-text" in accept:
+        return OPENMETRICS_CONTENT_TYPE, render_openmetrics
+    return PROMETHEUS_CONTENT_TYPE, render_prometheus
+
+
 class _Handler(BaseHTTPRequestHandler):
     """GET-only handler for ``/metrics`` and ``/healthz``."""
 
@@ -124,8 +202,11 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
-            body = render_prometheus(self.registry_fn()).encode()
-            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            content_type, render = negotiate_exposition(
+                self.headers.get("Accept")
+            )
+            body = render(self.registry_fn()).encode()
+            self._reply(200, content_type, body)
         elif path == "/healthz":
             body = (json.dumps(self.health_fn()) + "\n").encode()
             self._reply(200, "application/json", body)

@@ -39,6 +39,10 @@ class SlowQuery:
     argument: str
     seconds: float
     span_id: int = 0
+    #: Request trace id ("" when the query ran outside any request).
+    trace_id: str = ""
+    #: Serving endpoint that issued the query ("" for direct CLI queries).
+    endpoint: str = ""
     when: float = field(default_factory=time.time)
     plan: dict | None = None
 
@@ -49,6 +53,8 @@ class SlowQuery:
             "argument": self.argument,
             "seconds": self.seconds,
             "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
             "when": self.when,
             "plan": self.plan,
         }
@@ -113,10 +119,15 @@ class SlowQueryLog:
             f"(capacity {self.capacity})"
         ]
         for i, e in enumerate(entries, 1):
-            lines.append(
+            line = (
                 f"{i:3d}. {e.seconds * 1e3:9.3f} ms  {e.kind}"
                 f"({e.argument})  span_id={e.span_id}"
             )
+            if e.trace_id:
+                line += f"  trace_id={e.trace_id}"
+            if e.endpoint:
+                line += f"  endpoint={e.endpoint}"
+            lines.append(line)
             if e.plan:
                 strategy = e.plan.get("strategy", "?")
                 counters = e.plan.get("counters", {})

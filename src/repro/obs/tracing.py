@@ -27,11 +27,14 @@ Export helpers live in :mod:`repro.obs.export`; metric aggregation in
 from __future__ import annotations
 
 import functools
+import os
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Iterator
+
+from .context import current_trace_context
 
 __all__ = [
     "Span",
@@ -49,12 +52,23 @@ __all__ = [
 ]
 
 
-#: Monotonically increasing span-id source (process-local, never reused).
+#: Monotonically increasing low bits of the span-id (never reused in-process).
 _SPAN_IDS = count(1)
+
+#: Random per-process high bits, lazily (re)seeded so span ids stay unique
+#: across the process pool: fork-based workers inherit this module's state,
+#: so the base is re-drawn whenever the pid changes.
+_ID_BASE: int | None = None
+_ID_PID: int = -1
 
 
 def _next_span_id() -> int:
-    return next(_SPAN_IDS)
+    global _ID_BASE, _ID_PID
+    pid = os.getpid()
+    if _ID_BASE is None or pid != _ID_PID:
+        _ID_PID = pid
+        _ID_BASE = int.from_bytes(os.urandom(4), "big") << 32
+    return _ID_BASE | next(_SPAN_IDS)
 
 
 @dataclass
@@ -75,6 +89,13 @@ class Span:
     counters: dict[str, float] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
     span_id: int = field(default_factory=_next_span_id, compare=False)
+    #: 32-hex-digit request trace id, stamped from the ambient
+    #: :class:`repro.obs.context.TraceContext` ("" outside any request).
+    trace_id: str = field(default="", compare=False)
+    #: Span id of the parent span -- the enclosing span in this process,
+    #: or the caller's span id carried across a process/HTTP boundary by
+    #: the trace context (0 for true roots).
+    parent_span_id: int = field(default=0, compare=False)
 
     @property
     def duration_ns(self) -> int:
@@ -113,7 +134,7 @@ class Span:
 
     def to_dict(self) -> dict:
         """Nested JSON-friendly representation (see also export.py)."""
-        return {
+        out = {
             "name": self.name,
             "start_ns": self.start_ns,
             "end_ns": self.end_ns,
@@ -121,6 +142,9 @@ class Span:
             "counters": dict(self.counters),
             "children": [c.to_dict() for c in self.children],
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        return out
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Span":
@@ -132,6 +156,7 @@ class Span:
             attributes=dict(payload.get("attributes", {})),
             counters=dict(payload.get("counters", {})),
             children=[cls.from_dict(c) for c in payload.get("children", [])],
+            trace_id=str(payload.get("trace_id", "")),
         )
 
 
@@ -166,6 +191,14 @@ class _NullSpan:
 
     @property
     def span_id(self) -> int:
+        return 0
+
+    @property
+    def trace_id(self) -> str:
+        return ""
+
+    @property
+    def parent_span_id(self) -> int:
         return 0
 
 
@@ -223,9 +256,18 @@ class _SpanHandle:
         if self._attributes:
             sp.attributes.update(self._attributes)
         tracer = self._tracer
+        ctx = current_trace_context()
+        if ctx is not None:
+            sp.trace_id = ctx.trace_id
         if tracer._stack:
-            tracer._stack[-1].children.append(sp)
+            parent = tracer._stack[-1]
+            sp.parent_span_id = parent.span_id
+            parent.children.append(sp)
         else:
+            if ctx is not None:
+                # Root of this process's subtree: stitch under the caller's
+                # span carried across the HTTP / pool boundary.
+                sp.parent_span_id = ctx.parent_span_id
             tracer.roots.append(sp)
         tracer._stack.append(sp)
         # While this span is open, ambient span() calls attach to its tracer.

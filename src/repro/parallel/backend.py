@@ -52,8 +52,9 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 
 from ..core.dominance import COMPARISONS
+from ..obs.context import TraceContext, current_trace_context, use_trace_context
 from ..obs.metrics import registry
-from ..obs.tracing import Span, current_tracer
+from ..obs.tracing import Span, Tracer, current_tracer
 
 __all__ = [
     "AUTO_MIN_OBJECTS",
@@ -291,22 +292,42 @@ def get_shared() -> object:
     return _SHARED
 
 
-def _run_shard(fn: Callable, item: object) -> tuple[object, int, int, int]:
+def _run_shard(
+    fn: Callable, item: object, ctx_dict: dict | None = None
+) -> tuple[object, int, int, int, int, int]:
     """Execute one shard, measuring wall-clock and comparison counts.
 
-    Returns ``(result, start_ns, end_ns, comparisons)`` where
+    Returns ``(result, start_ns, end_ns, comparisons, span_id, pid)`` where
     ``comparisons`` is non-zero only in process-pool workers (thread and
     serial shards already update the parent's global counter directly).
     ``perf_counter_ns`` is ``CLOCK_MONOTONIC`` on Linux and therefore
     comparable across the processes of one host, which is what makes the
     reconstructed shard spans line up on a single timeline.
+
+    When the calling request had a :class:`~repro.obs.context.TraceContext`,
+    ``ctx_dict`` carries it across the pool boundary (the same mechanism
+    for thread and process backends, since executor tasks do not inherit
+    the submitter's context variables).  The context is installed for the
+    shard's duration -- worker-side log, slowlog, and flight records pick
+    up the request's ``trace_id`` -- and the shard runs under a real span
+    whose worker-allocated ``span_id`` is reported back so the parent's
+    reconstructed shard span keeps the same identity the worker's own
+    telemetry referenced.
     """
     before = COMPARISONS.value
-    start = time.perf_counter_ns()
-    result = fn(item)
-    end = time.perf_counter_ns()
+    if ctx_dict is None:
+        start = time.perf_counter_ns()
+        result = fn(item)
+        end = time.perf_counter_ns()
+        delta = COMPARISONS.value - before if _IN_WORKER_PROCESS else 0
+        return result, start, end, delta, 0, os.getpid()
+    ctx = TraceContext.from_dict(ctx_dict)
+    tracer = Tracer()
+    with use_trace_context(ctx):
+        with tracer.span("shard") as sp:
+            result = fn(item)
     delta = COMPARISONS.value - before if _IN_WORKER_PROCESS else 0
-    return result, start, end, delta
+    return result, sp.start_ns, sp.end_ns, delta, sp.span_id, os.getpid()
 
 
 @contextmanager
@@ -409,8 +430,18 @@ def map_shards(
         else None
     )
     parent_span: Span | None = handle.__enter__() if handle else None
+    # Ship the ambient request context (if any) to the pool workers,
+    # re-parented under the parallel.map span so worker shard spans stitch
+    # into the calling request's trace.
+    ctx = current_trace_context()
+    ship_ctx: dict | None = None
+    if ctx is not None:
+        parent_id = (
+            parent_span.span_id if parent_span is not None else ctx.parent_span_id
+        )
+        ship_ctx = ctx.child(parent_id).to_dict()
     try:
-        outcomes = _execute(kind, fn, items, workers, shared, progress)
+        outcomes = _execute(kind, fn, items, workers, shared, progress, ship_ctx)
     finally:
         if handle is not None:
             handle.__exit__(None, None, None)
@@ -422,13 +453,22 @@ def map_shards(
     reg.gauge("parallel.workers").set(workers)
     shard_hist = reg.histogram("parallel.shard_seconds")
     foreign_comparisons = 0
-    for i, (result, start_ns, end_ns, comparisons) in enumerate(outcomes):
+    for i, (result, start_ns, end_ns, comparisons, shard_id, pid) in enumerate(
+        outcomes
+    ):
         results.append(result)
         foreign_comparisons += comparisons
         shard_hist.observe((end_ns - start_ns) / 1e9)
         if parent_span is not None:
             child = Span(name="shard", start_ns=start_ns, end_ns=end_ns)
             child.annotate(index=i)
+            if shard_id:
+                # Keep the worker-allocated identity so the shard span joins
+                # against the worker's own log/flight records.
+                child.span_id = shard_id
+                child.parent_span_id = parent_span.span_id
+                child.trace_id = ship_ctx["trace_id"] if ship_ctx else ""
+                child.annotate(pid=pid)
             if comparisons:
                 child.count("dominance_comparisons", comparisons)
             parent_span.children.append(child)
@@ -446,13 +486,14 @@ def _execute(
     workers: int,
     shared: object,
     progress: Callable[[int, object], None] | None = None,
-) -> list[tuple[object, int, int, int]]:
+    ctx_dict: dict | None = None,
+) -> list[tuple[object, int, int, int, int, int]]:
     if kind == "thread":
         with _shared_inline(shared):
             executor = _make_executor(kind, workers, shared)
-            return _drain(executor, fn, items, progress)
+            return _drain(executor, fn, items, progress, ctx_dict)
     executor = _make_executor(kind, workers, shared)
-    return _drain(executor, fn, items, progress)
+    return _drain(executor, fn, items, progress, ctx_dict)
 
 
 def _drain(
@@ -460,9 +501,12 @@ def _drain(
     fn: Callable,
     items: list[object],
     progress: Callable[[int, object], None] | None = None,
-) -> list[tuple[object, int, int, int]]:
+    ctx_dict: dict | None = None,
+) -> list[tuple[object, int, int, int, int, int]]:
     try:
-        futures = [executor.submit(_run_shard, fn, item) for item in items]
+        futures = [
+            executor.submit(_run_shard, fn, item, ctx_dict) for item in items
+        ]
         try:
             if progress is not None:
                 # Fire the callback in completion order, then gather the

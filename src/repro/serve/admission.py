@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..obs.metrics import registry
+from ..obs.tracing import span
 
 __all__ = [
     "Deadline",
@@ -166,7 +167,10 @@ class AdmissionController:
         controller's ``default_deadline_ms``.
         """
         deadline = deadline or self.deadline()
-        self._acquire(deadline)
+        # Span only the slot acquisition (not the request body), so queue
+        # wait shows up as its own phase in trace critical-path analysis.
+        with span("serve.admission.wait"):
+            self._acquire(deadline)
         try:
             yield deadline
         finally:

@@ -30,7 +30,7 @@ import json
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable
@@ -41,10 +41,19 @@ from ..cube.compressed import CompressedSkylineCube
 from ..cube.maintenance import MaintainedCube
 from ..cube.query import QueryEngine
 from ..data.io import load_csv
+from ..obs.context import (
+    TRACE_ID_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_trace_context,
+    parse_traceparent,
+    use_trace_context,
+)
 from ..obs.logging import get_logger
 from ..obs.metrics import registry
-from ..obs.promexport import MetricsServer, render_prometheus
-from ..obs.tracing import span
+from ..obs.promexport import MetricsServer, negotiate_exposition
+from ..obs.tracesink import TraceSink
+from ..obs.tracing import Tracer, span
 from .admission import (
     AdmissionController,
     DeadlineExceededError,
@@ -129,6 +138,20 @@ def _require(params: dict, key: str) -> str:
         raise ValueError(f"missing parameter {key!r}") from None
 
 
+def _header_get(headers: dict | None, name: str) -> str | None:
+    """Case-insensitive header lookup over a plain dict or Message object."""
+    if not headers:
+        return None
+    value = headers.get(name)
+    if value is not None:
+        return value
+    lowered = name.lower()
+    for key in headers:
+        if str(key).lower() == lowered:
+            return headers[key]
+    return None
+
+
 def _parse_k(params: dict) -> int:
     raw = _require(params, "k")
     try:
@@ -204,6 +227,7 @@ class CubeService:
         admission: AdmissionController | None = None,
         default_snapshot: str | None = None,
         reload_interval: float = 0.5,
+        trace_sink: TraceSink | None = None,
     ):
         self.store = store
         self.cache = cache if cache is not None else ResultCache()
@@ -212,6 +236,10 @@ class CubeService:
         )
         self.default_snapshot = default_snapshot
         self.reload_interval = reload_interval
+        #: Tail-sampling trace store; None disables request tracing output
+        #: (requests still run under a per-request trace context so the
+        #: echoed ``x-repro-trace-id`` header is always present).
+        self.trace_sink = trace_sink
         self._lock = threading.Lock()
         self._states: dict[str, _Serving] = {}
         self._checked: dict[str, float] = {}
@@ -251,18 +279,21 @@ class CubeService:
                 key = (state.cube_version, kind, spec.normalize(state.engine, params))
                 cached = False
                 if spec.cacheable:
-                    result, cached = self.cache.get(key)
+                    with span("serve.cache.get"):
+                        result, cached = self.cache.get(key)
                 if not cached:
                     if deadline.expired:
                         raise DeadlineExceededError(deadline)
                     result = spec.run(state.engine, params)
                     if spec.cacheable:
-                        self.cache.put(key, result)
+                        with span("serve.cache.put"):
+                            self.cache.put(key, result)
                 seconds = time.perf_counter() - t0
                 sp.annotate(cached=cached, cube_version=state.cube_version)
             _REQUESTS.inc()
-            _REQUEST_SECONDS.observe(seconds)
-            _kind_seconds(kind).observe(seconds)
+            exemplar = self._exemplar_trace_id(seconds)
+            _REQUEST_SECONDS.observe(seconds, trace_id=exemplar)
+            _kind_seconds(kind).observe(seconds, trace_id=exemplar)
             remaining = max(deadline.remaining(), 0.0)
             _DEADLINE_REMAINING.observe(remaining)
             _DEADLINE_LAST.set(remaining)
@@ -568,13 +599,70 @@ class CubeService:
     }
 
     def handle_http(
-        self, method: str, path: str, query: dict, body: dict
+        self,
+        method: str,
+        path: str,
+        query: dict,
+        body: dict,
+        headers: dict | None = None,
     ) -> tuple[int, dict, dict]:
         """Route one request; returns ``(status, json_payload, headers)``.
 
         Socket-free so tests can exercise routing and error mapping
         directly; the HTTP handler is a thin wrapper over this.
+
+        ``headers`` are the inbound request headers (any mapping with
+        case-insensitive-ish keys; only ``traceparent`` is consulted).  A
+        valid ``traceparent`` continues the caller's trace; anything else
+        mints a fresh context.  The resolved trace id is echoed back as
+        ``x-repro-trace-id`` on *every* response -- 503 sheds and 504
+        deadline failures included, since those are exactly the requests
+        worth looking up afterwards -- and the request's span tree is
+        offered to the tail-sampling trace sink when one is configured.
         """
+        ctx = parse_traceparent(_header_get(headers, TRACEPARENT_HEADER))
+        if ctx is None:
+            ctx = TraceContext.new()
+        ctx = replace(ctx, endpoint=path)
+        tracer = Tracer()
+        with use_trace_context(ctx):
+            with tracer.span(
+                "serve.request", endpoint=path, method=method
+            ) as root:
+                status, payload, out_headers = self._dispatch(
+                    method, path, query, body
+                )
+                root.annotate(status=status)
+        out_headers = dict(out_headers)
+        out_headers[TRACE_ID_HEADER] = ctx.trace_id
+        if self.trace_sink is not None:
+            self.trace_sink.offer_span(
+                root,
+                source="server",
+                error=status >= 500,
+                shed=status == 503,
+            )
+        return status, payload, out_headers
+
+    def _exemplar_trace_id(self, seconds: float) -> str | None:
+        """The current trace id iff the sink will keep this request's trace.
+
+        Exemplars must reference *retrievable* traces; ``should_keep`` is
+        deterministic in (trace id, duration), so the verdict here matches
+        the sink's offer decision in :meth:`handle_http` for the success
+        path (errors and sheds never reach the latency histograms).
+        """
+        ctx = current_trace_context()
+        if ctx is None or self.trace_sink is None:
+            return None
+        if self.trace_sink.should_keep(ctx.trace_id, seconds=seconds):
+            return ctx.trace_id
+        return None
+
+    def _dispatch(
+        self, method: str, path: str, query: dict, body: dict
+    ) -> tuple[int, dict, dict]:
+        """Route + map typed failures to HTTP statuses (no trace handling)."""
         try:
             return 200, self._route(method, path, query, body), {}
         except OverloadedError as exc:
@@ -659,13 +747,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parts = urlsplit(self.path)
         if parts.path == "/metrics":
-            body = render_prometheus().encode()
-            self._reply_raw(
-                200, "text/plain; version=0.0.4; charset=utf-8", body
+            content_type, render = negotiate_exposition(
+                self.headers.get("Accept")
             )
+            self._reply_raw(200, content_type, render().encode())
             return
         status, payload, headers = self.service.handle_http(
-            "GET", parts.path, parse_qs(parts.query), {}
+            "GET", parts.path, parse_qs(parts.query), {}, self.headers
         )
         self._reply_json(status, payload, headers)
 
@@ -682,7 +770,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
             )
             return
         status, payload, headers = self.service.handle_http(
-            "POST", parts.path, parse_qs(parts.query), body
+            "POST", parts.path, parse_qs(parts.query), body, self.headers
         )
         self._reply_json(status, payload, headers)
 
