@@ -1,0 +1,310 @@
+"""CI durability smoke: kill -9, WAL replay, compaction, and /v1/diff.
+
+Drives a real ``repro serve`` subprocess through the full durability
+story and fails loudly on any contract violation:
+
+1. publish a snapshot, apply a scripted mutation stream over HTTP,
+   recording every acknowledgement in the loadtest harness's
+   :class:`ConsistencyOracle`;
+2. ``SIGKILL`` the server mid-flight and assert every acknowledged
+   mutation is on disk in the WAL segment, in order;
+3. restart on the same snapshot store and assert the replayed generation
+   answers **every** subspace skyline exactly as the oracle's offline
+   rebuild of "base dataset + acknowledged mutations" -- and that its
+   cube fingerprint equals an offline replay of the segment;
+4. compact over HTTP and assert the published version's fingerprint
+   matches the replayed state, with the segment retired;
+5. fetch ``/v1/diff`` across the two published versions and check it
+   against a brute-force recompute (per-subspace skylines via
+   :func:`skycube_naive` on both version's datasets).
+
+The snapshot store (WAL segments included) lives under ``--out`` so CI
+archives the evidence whenever a step fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/durability_smoke.py [--out DIR]
+
+Exit status 0 on success, 1 on any contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.cube import CompressedSkylineCube, MaintainedCube
+from repro.cube.io import cube_fingerprint
+from repro.data import make_dataset, save_csv
+from repro.loadtest import ConsistencyOracle
+from repro.serve import SnapshotStore
+from repro.skycube.naive import skycube_naive
+from repro.wal import apply_records, read_segment, wal_path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Scripted churn: inserts that land in the skyline, inserts that do not,
+#: deletes of skyline and non-skyline objects -- every maintenance path.
+MUTATIONS = [
+    ("insert", (0.001, 0.98, 0.97), "EDGE-A"),
+    ("insert", (0.97, 0.002, 0.95), "EDGE-B"),
+    ("insert", (0.5, 0.5, 0.5), "MIDDLE"),
+    ("delete", "P5"),
+    ("insert", (0.96, 0.97, 0.003), "EDGE-C"),
+    ("delete", "P11"),
+    ("insert", (0.004, 0.005, 0.006), "HERO"),
+    ("delete", "EDGE-A"),
+    ("insert", (0.99, 0.99, 0.99), "DUD"),
+    ("delete", "P2"),
+]
+
+
+def get_json(url: str) -> tuple[int, dict]:
+    try:
+        with urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post_json(url: str, body: dict) -> tuple[int, dict]:
+    request = Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"[durability-smoke] FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"[durability-smoke] ok: {message}")
+
+
+def launch_serve(snaps: Path, publish: Path | None = None):
+    """Start ``repro serve`` on an ephemeral port; returns (proc, url)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--snapshot-dir",
+        str(snaps),
+        "--snapshot",
+        "smoke",
+        "--port",
+        "0",
+    ]
+    if publish is not None:
+        argv += ["--publish", str(publish)]
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("serving at "):
+            return proc, line.split()[2]
+    proc.kill()
+    raise SystemExit("[durability-smoke] server never reported its URL")
+
+
+def memberships(dataset) -> dict[str, set[int]]:
+    """Brute force: label -> subspace masks where it is a skyline member."""
+    out: dict[str, set[int]] = {}
+    for mask, indices in skycube_naive(dataset).items():
+        for i in indices:
+            out.setdefault(dataset.labels[i], set()).add(mask)
+    return out
+
+
+def subspace_names(dataset) -> list[str]:
+    names = dataset.names
+    return [
+        ",".join(names[i] for i in range(len(names)) if mask >> i & 1)
+        for mask in range(1, 1 << len(names))
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="durability-results",
+        help="artifacts directory (snapshot store + WAL live here)",
+    )
+    args = parser.parse_args(argv)
+    # Resolved because the serve subprocess runs from the repo root.
+    out = Path(args.out).resolve()
+    out.mkdir(parents=True, exist_ok=True)
+    snaps = out / "snapshots"
+
+    dataset = make_dataset("independent", 40, 3, seed=20260808)
+    csv_path = out / "smoke.csv"
+    save_csv(dataset, csv_path)
+    oracle = ConsistencyOracle(dataset)
+    oracle.register_base("smoke@v000001")
+
+    # -- phase 1: churn, then die without warning -------------------------
+    proc, url = launch_serve(snaps, publish=csv_path)
+    acked = 0
+    try:
+        for op in MUTATIONS:
+            if op[0] == "insert":
+                status, body = post_json(
+                    f"{url}/v1/maintenance/insert",
+                    {"row": list(op[1]), "label": op[2]},
+                )
+            else:
+                status, body = post_json(
+                    f"{url}/v1/maintenance/delete", {"label": op[1]}
+                )
+            check(status == 200, f"{op[0]} {op[-1]} -> {body.get('cube_version')}")
+            oracle.record_mutation(body["cube_version"], op)
+            acked += 1
+        check(
+            body["cube_version"] == f"smoke@v000001+{acked}",
+            f"{acked} mutations acknowledged in sequence",
+        )
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    print("[durability-smoke] server SIGKILLed")
+
+    segment = wal_path(snaps, "smoke", "v000001")
+    records = read_segment(segment).records
+    check(
+        [r.op for r in records] == [op[0] for op in MUTATIONS],
+        f"all {acked} acknowledged mutations on disk in {segment.name}",
+    )
+
+    offline = MaintainedCube.adopt(CompressedSkylineCube.build(dataset))
+    applied, skipped = apply_records(offline, records)
+    check((applied, skipped) == (acked, 0), "offline WAL replay clean")
+
+    # -- phase 2: restart, replay, verify every subspace ------------------
+    proc, url = launch_serve(snaps)
+    try:
+        expected_version = f"smoke@v000001+{acked}"
+        for subspace in subspace_names(dataset):
+            status, body = get_json(f"{url}/v1/skyline?subspace={subspace}")
+            check(status == 200, f"skyline({subspace}) served after restart")
+            check(
+                body["cube_version"] == expected_version,
+                f"replayed generation is {body['cube_version']}",
+            )
+            check(
+                sorted(body["result"])
+                == oracle.expected_skyline(expected_version, subspace),
+                f"skyline({subspace}) matches oracle rebuild",
+            )
+        status, body = get_json(f"{url}/healthz")
+        depth = body["snapshots"]["smoke"]["wal_depth"]
+        check(depth == acked, f"healthz wal_depth={depth}")
+
+        # -- phase 3: compaction -----------------------------------------
+        status, body = post_json(f"{url}/v1/maintenance/compact", {})
+        check(
+            status == 200 and body.get("new_version") == "v000002",
+            "compaction published v000002",
+        )
+        check(not segment.exists(), "WAL segment retired")
+        store = SnapshotStore(snaps)
+        _, compacted, info = store.load("smoke", "v000002")
+        check(
+            cube_fingerprint(compacted) == cube_fingerprint(offline.cube),
+            "compacted snapshot fingerprint equals offline replay",
+        )
+        status, body = get_json(f"{url}/v1/skyline?subspace={dataset.names[0]}")
+        check(
+            body["cube_version"] == "smoke@v000002",
+            "serving rolled onto the compacted base",
+        )
+
+        # -- phase 4: /v1/diff vs brute force ----------------------------
+        status, body = get_json(f"{url}/v1/diff?from=v000001&to=v000002&top=64")
+        check(status == 200, "diff endpoint answered")
+        diff = body["diff"]
+        old_dataset, _, _ = store.load("smoke", "v000001")
+        new_dataset, _, _ = store.load("smoke", "v000002")
+        by_old = memberships(old_dataset)
+        by_new = memberships(new_dataset)
+        check(
+            sorted(diff["entered_objects"])
+            == sorted(set(by_new) - set(by_old)),
+            "entered objects match brute force",
+        )
+        check(
+            sorted(diff["exited_objects"])
+            == sorted(set(by_old) - set(by_new)),
+            "exited objects match brute force",
+        )
+        full = (1 << 3) - 1
+        old_full = {lab for lab, masks in by_old.items() if full in masks}
+        new_full = {lab for lab, masks in by_new.items() if full in masks}
+        check(
+            sorted(diff["fullspace_entered"]) == sorted(new_full - old_full)
+            and sorted(diff["fullspace_exited"]) == sorted(old_full - new_full),
+            "full-space skyline delta matches brute force",
+        )
+        churn: dict[str, int] = {}
+        names = dataset.names
+        for label in set(by_old) | set(by_new):
+            for mask in by_old.get(label, set()) ^ by_new.get(label, set()):
+                key = ",".join(
+                    names[i] for i in range(len(names)) if mask >> i & 1
+                )
+                churn[key] = churn.get(key, 0) + 1
+        served_churn = {
+            row["subspace"]: row["objects_changed"]
+            for row in diff["churn"]["top"]
+        }
+        check(served_churn == churn, "per-subspace churn matches brute force")
+        check(
+            diff["churn"]["total"] == sum(churn.values()),
+            f"total churn {diff['churn']['total']} matches brute force",
+        )
+        status, body = get_json(f"{url}/v1/diff?from=v000001&to=v000002&top=64")
+        check(body["cached"] is True, "diff served from version-pair cache")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    (out / "durability_summary.json").write_text(
+        json.dumps(
+            {
+                "mutations_acked": acked,
+                "wal_records": len(records),
+                "compacted_version": "v000002",
+                "fingerprint": cube_fingerprint(offline.cube),
+                "diff_total_churn": diff["churn"]["total"],
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print("[durability-smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -483,6 +483,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests at least this slow are always kept by the trace "
         "sink (default 100)",
     )
+    p_serve.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="disable write-ahead logging of maintenance mutations "
+        "(mutations then die with the process)",
+    )
+    p_serve.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=0,
+        metavar="N",
+        help="auto-compact the WAL into a freshly published snapshot "
+        "version once it holds N records (0 disables; default 0)",
+    )
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="fold a snapshot's WAL segment into a new published version",
+        parents=[obs],
+    )
+    p_compact.add_argument(
+        "--snapshot-dir",
+        required=True,
+        metavar="DIR",
+        help="root directory of the snapshot store",
+    )
+    p_compact.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="NAME",
+        help="snapshot name (default: the only published name)",
+    )
+    p_compact.add_argument(
+        "--version",
+        default=None,
+        metavar="vNNNNNN",
+        help="base version whose WAL to compact (default: the active one)",
+    )
+    p_compact.add_argument(
+        "--algorithm",
+        default="stellar",
+        choices=["stellar", "skyey"],
+        help="algorithm tag recorded on the published version "
+        "(default stellar)",
+    )
+    p_compact.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the summary line",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="temporal diff of two published snapshot versions "
+        "(entered/exited groups, decisive deltas, subspace churn)",
+        parents=[obs],
+    )
+    p_diff.add_argument(
+        "--snapshot-dir",
+        required=True,
+        metavar="DIR",
+        help="root directory of the snapshot store",
+    )
+    p_diff.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="NAME",
+        help="snapshot name (default: the only published name)",
+    )
+    p_diff.add_argument(
+        "--from",
+        dest="from_version",
+        default=None,
+        metavar="vNNNNNN",
+        help="older version (default: the version just before --to)",
+    )
+    p_diff.add_argument(
+        "--to",
+        dest="to_version",
+        default=None,
+        metavar="vNNNNNN",
+        help="newer version (default: the active version)",
+    )
+    p_diff.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="churn subspaces listed (default 10)",
+    )
+    p_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    p_diff.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the EXPLAIN-style diff plan",
+    )
 
     p_load = sub.add_parser(
         "loadtest",
@@ -549,6 +649,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="soak mode: hot-reload a fresh snapshot version per interval "
         "(0 = never; default 0)",
+    )
+    p_load.add_argument(
+        "--restart-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="durability drill: hard-restart the self-hosted server per "
+        "interval and probe WAL replay (0 = never; default 0; "
+        "incompatible with --url)",
     )
     p_load.add_argument(
         "--snapshot",
@@ -703,6 +812,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "flight": _cmd_flight,
         "serve": _cmd_serve,
+        "compact": _cmd_compact,
+        "diff": _cmd_diff,
         "loadtest": _cmd_loadtest,
         "trace": _cmd_trace,
     }[args.command]
@@ -854,14 +965,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"tracing into {args.trace_dir} (tail-sampled)")
 
-    service = CubeService(
-        store,
-        cache=cache,
-        admission=admission,
-        default_snapshot=args.snapshot,
-        reload_interval=args.reload_interval,
-        trace_sink=trace_sink,
-    )
+    try:
+        service = CubeService(
+            store,
+            cache=cache,
+            admission=admission,
+            default_snapshot=args.snapshot,
+            reload_interval=args.reload_interval,
+            trace_sink=trace_sink,
+            wal_enabled=not args.no_wal,
+            compact_threshold=args.compact_threshold,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.preload:
         for name in service.preload():
             print(f"preloaded {name}")
@@ -893,6 +1010,117 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if sampler is not None:
             sampler.stop()
         server.close()
+        service.close()
+    return 0
+
+
+def _resolve_snapshot_name(store, name: str | None) -> str:
+    """Return ``name`` or the store's sole published snapshot name.
+
+    Raises :class:`ValueError` when the name is ambiguous or absent, so
+    CLI handlers can turn it into a friendly exit-2 message.
+    """
+
+    names = store.names()
+    if name is not None:
+        if name not in names:
+            raise ValueError(
+                f"snapshot {name!r} not found "
+                f"(published: {', '.join(names) or 'none'})"
+            )
+        return name
+    if not names:
+        raise ValueError("no snapshots published in this store")
+    if len(names) > 1:
+        raise ValueError(
+            f"multiple snapshots published ({', '.join(names)}); "
+            "pick one with --snapshot"
+        )
+    return names[0]
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import SnapshotStore
+    from .wal import compact_snapshot
+
+    store = SnapshotStore(args.snapshot_dir)
+    try:
+        name = _resolve_snapshot_name(store, args.snapshot)
+        result = compact_snapshot(
+            store,
+            name,
+            version=args.version,
+            algorithm=args.algorithm,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1))
+        return 0
+    if result.new_version is None:
+        print(
+            f"{name}@{result.base_version}: WAL empty, nothing to compact"
+        )
+    else:
+        print(
+            f"compacted {name}@{result.base_version}+{result.applied} "
+            f"-> {name}@{result.new_version} "
+            f"({result.records} WAL record(s), {result.skipped} skipped)"
+        )
+        print(f"fingerprint {result.fingerprint}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .cube.diff import diff_cubes
+    from .serve import SnapshotStore
+
+    store = SnapshotStore(args.snapshot_dir)
+    try:
+        name = _resolve_snapshot_name(store, args.snapshot)
+        versions = [info.version for info in store.versions(name)]
+        to_version = args.to_version or store.current_version(name)
+        if to_version is None:
+            raise ValueError(f"snapshot {name!r} has no active version")
+        if to_version not in versions:
+            raise ValueError(f"version {to_version!r} not published")
+        from_version = args.from_version
+        if from_version is None:
+            older = [v for v in versions if v < to_version]
+            if not older:
+                raise ValueError(
+                    f"no version older than {to_version} to diff against"
+                )
+            from_version = older[-1]
+        elif from_version not in versions:
+            raise ValueError(f"version {from_version!r} not published")
+        _, old_cube, _ = store.load(name, version=from_version)
+        _, new_cube, _ = store.load(name, version=to_version)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    diff = diff_cubes(old_cube, new_cube)
+    if args.json:
+        payload = {
+            "snapshot": name,
+            "from": from_version,
+            "to": to_version,
+            "diff": diff.to_dict(top=args.top),
+        }
+        print(json.dumps(payload, indent=1))
+        return 0
+    print(f"diff {name}@{from_version} -> {name}@{to_version}")
+    print(diff.render(top=args.top))
+    if args.explain:
+        print()
+        print(diff.plan.render())
     return 0
 
 
@@ -922,6 +1150,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             churn_interval=args.churn_interval,
             publish_interval=args.publish_interval,
+            restart_interval=args.restart_interval,
             snapshot=args.snapshot,
             slo_threshold_seconds=args.slo_threshold_ms / 1e3,
             slo_target=args.slo_target,
@@ -933,7 +1162,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         return 2
 
     server = None
+    restart = None
     if args.url:
+        if args.restart_interval:
+            print(
+                "error: --restart-interval needs the self-hosted server "
+                "(drop --url)",
+                file=sys.stderr,
+            )
+            return 2
         url = args.url
         # Against an external server, only publish (and therefore own the
         # consistency oracle) when the run actually mutates it.
@@ -960,25 +1197,45 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             trace_sink = TraceSink(
                 args.trace_dir, slow_threshold_s=args.trace_slow_ms / 1e3
             )
-        service = CubeService(
-            SnapshotStore(Path(tmp.name) / "snapshots"),
-            cache=ResultCache(max_entries=args.cache_size),
-            admission=AdmissionController(
-                max_concurrency=args.max_concurrency
-            ),
-            default_snapshot=args.snapshot,
-            reload_interval=0.1,
-            trace_sink=trace_sink,
-        )
-        server = start_server(service)
+        store_path = Path(tmp.name) / "snapshots"
+
+        def _spawn(port: int = 0):
+            svc = CubeService(
+                SnapshotStore(store_path),
+                cache=ResultCache(max_entries=args.cache_size),
+                admission=AdmissionController(
+                    max_concurrency=args.max_concurrency
+                ),
+                default_snapshot=args.snapshot,
+                reload_interval=0.1,
+                trace_sink=trace_sink,
+            )
+            return svc, start_server(svc, port=port)
+
+        service, server = _spawn()
         url = server.url
         print(f"self-hosting {args.dataset} at {url}")
 
+        if args.restart_interval:
+
+            def restart() -> None:
+                # Durability drill: drop the whole serving process state
+                # and come back on the same snapshot store + port, so
+                # acknowledged mutations must survive via WAL replay.
+                nonlocal service, server
+                port = server.port
+                server.close()
+                service.close()
+                service, server = _spawn(port)
+
     try:
-        result = run_loadtest(url, dataset, config, csv_text=csv_text)
+        result = run_loadtest(
+            url, dataset, config, csv_text=csv_text, restart=restart
+        )
     finally:
         if server is not None:
             server.close()
+            service.close()
     report = summarize(result)
     print(report.render())
 

@@ -22,17 +22,22 @@ from .analysis import (
     robust_winners,
 )
 from .compressed import CompressedSkylineCube
-from .io import load_cube, save_cube
+from .diff import CubeDiff, DiffPlan, diff_cubes
+from .io import cube_fingerprint, load_cube, save_cube
 from .maintenance import MaintainedCube
 from .query import QueryEngine, QueryPlan
 
 __all__ = [
     "CompressedSkylineCube",
+    "CubeDiff",
+    "DiffPlan",
     "QueryEngine",
     "QueryPlan",
     "MaintainedCube",
+    "diff_cubes",
     "save_cube",
     "load_cube",
+    "cube_fingerprint",
     "hidden_gems",
     "robust_winners",
     "decisive_size_histogram",

@@ -39,6 +39,7 @@ __all__ = [
     "save_cube",
     "load_cube",
     "dataset_fingerprint",
+    "cube_fingerprint",
     "save_snapshot_binary",
     "load_snapshot_binary",
     "BINARY_MAGIC",
@@ -62,6 +63,25 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     digest.update(repr([d.value for d in dataset.directions]).encode())
     digest.update(repr(dataset.labels).encode())
     digest.update(dataset.values.tobytes())
+    return digest.hexdigest()
+
+
+def cube_fingerprint(cube: CompressedSkylineCube) -> str:
+    """Stable hash of the full cube: dataset plus every group's identity.
+
+    Two cubes hash equal iff their datasets are byte-identical and their
+    group sets (members, maximal subspace, decisive subspaces) match --
+    the "bit-identical" comparison the durability tests make between a
+    WAL-replayed cube and an offline rebuild.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset_fingerprint(cube.dataset).encode())
+    for group in sorted(cube.groups, key=group_sort_key):
+        digest.update(
+            repr(
+                (tuple(sorted(group.members)), group.subspace, group.decisive)
+            ).encode()
+        )
     return digest.hexdigest()
 
 

@@ -106,12 +106,34 @@ class MaintainedCube:
 
     # -- updates -----------------------------------------------------------
 
+    def check_insert(
+        self, row: list[float], label: str | None = None
+    ) -> None:
+        """Raise ``ValueError`` iff :meth:`insert` would reject the update.
+
+        Validation is separated from application so a write-ahead logger
+        can refuse an invalid mutation *before* logging it: a rejected
+        update must leave the WAL, the stats counters, and the cube all
+        equally untouched.
+        """
+        if label is not None and label in self._dataset.labels:
+            raise ValueError(f"duplicate object label {label!r}")
+        if len(row) != self._dataset.n_dims:
+            raise ValueError(
+                f"row has {len(row)} values, dataset has "
+                f"{self._dataset.n_dims} dimensions"
+            )
+
+    def check_delete(self, label: str) -> None:
+        """Raise ``ValueError`` iff :meth:`delete` would reject the update."""
+        if label not in self._dataset.labels:
+            raise ValueError(f"unknown object label {label!r}")
+
     def insert(self, row: list[float], label: str | None = None) -> bool:
         """Insert one object; returns True when the fast path applied."""
+        self.check_insert(row, label)
         if label is None:
             label = self._fresh_label()
-        elif label in self._dataset.labels:
-            raise ValueError(f"duplicate object label {label!r}")
         new_dataset = Dataset(
             values=np.vstack([self._dataset.values, np.asarray(row, dtype=np.float64)])
             if self._dataset.n_objects
@@ -145,10 +167,8 @@ class MaintainedCube:
         Note indices shift on delete, so the cube is re-indexed even on the
         fast path (groups themselves are reused).
         """
-        try:
-            victim = self._dataset.labels.index(label)
-        except ValueError:
-            raise ValueError(f"unknown object label {label!r}") from None
+        self.check_delete(label)
+        victim = self._dataset.labels.index(label)
         in_any_group = any(victim in g.members for g in self._cube.groups)
         keep = [i for i in range(self._dataset.n_objects) if i != victim]
         new_dataset = self._dataset.take(keep)

@@ -24,11 +24,18 @@ from .report import (
     report_entry,
     summarize,
 )
-from .runner import LoadtestConfig, LoadtestResult, RequestRecord, run_loadtest
+from .runner import (
+    ConsistencyOracle,
+    LoadtestConfig,
+    LoadtestResult,
+    RequestRecord,
+    run_loadtest,
+)
 from .workload import Request, WorkloadMix, zipf_weights
 
 __all__ = [
     "CapacityModel",
+    "ConsistencyOracle",
     "EndpointStats",
     "LoadtestConfig",
     "LoadtestReport",

@@ -225,9 +225,12 @@ class LoadtestReport:
 
     @property
     def consistency_violations(self) -> int:
-        """Total oracle failures: audit violations + read inconsistencies."""
-        return len(self.consistency.get("violations", ())) + len(
-            self.consistency.get("read_inconsistencies", ())
+        """Total oracle failures: audit violations, read inconsistencies,
+        and lost-durable-write regressions after a restart drill."""
+        return (
+            len(self.consistency.get("violations", ()))
+            + len(self.consistency.get("read_inconsistencies", ()))
+            + len(self.consistency.get("durability_violations", ()))
         )
 
     @property
@@ -307,7 +310,9 @@ class LoadtestReport:
                 f"  consistency: {consistency.get('verified', 0)} verified, "
                 f"{len(consistency.get('violations', ()))} violations, "
                 f"{len(consistency.get('read_inconsistencies', ()))} "
-                f"read inconsistencies"
+                f"read inconsistencies, "
+                f"{len(consistency.get('durability_violations', ()))} "
+                f"durability violations"
             )
         activation = self.snapshot_activation
         if activation and activation.get("count"):

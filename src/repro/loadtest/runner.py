@@ -28,6 +28,7 @@ import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable
 from urllib.error import HTTPError, URLError
 from urllib.parse import urlencode
 
@@ -41,7 +42,13 @@ from ..obs.tracing import Tracer
 from ..skyline import compute_skyline
 from .workload import WorkloadMix
 
-__all__ = ["LoadtestConfig", "RequestRecord", "LoadtestResult", "run_loadtest"]
+__all__ = [
+    "ConsistencyOracle",
+    "LoadtestConfig",
+    "RequestRecord",
+    "LoadtestResult",
+    "run_loadtest",
+]
 
 _LOG = get_logger("loadtest")
 
@@ -76,6 +83,12 @@ class LoadtestConfig:
     #: Client-side tail-sampling slow threshold; keep it equal to the
     #: server's so both halves of a slow trace survive sampling.
     trace_slow_ms: float = 100.0
+    #: 0 disables restarts; otherwise the ``restart`` callable passed to
+    #: :func:`run_loadtest` is invoked once per interval -- the
+    #: kill-and-restart durability check of soak mode (the restarted
+    #: server must replay its WAL back to at least the last acknowledged
+    #: mutation count).
+    restart_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_seconds <= 0:
@@ -88,6 +101,10 @@ class LoadtestConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.churn_interval < 0 or self.publish_interval < 0:
             raise ValueError("churn/publish intervals must be >= 0")
+        if self.restart_interval < 0:
+            raise ValueError(
+                f"restart interval must be >= 0, got {self.restart_interval}"
+            )
 
 
 @dataclass(frozen=True)
@@ -142,12 +159,15 @@ class LoadtestResult:
     snapshot_activation: dict | None = None
 
 
-class _Oracle:
+class ConsistencyOracle:
     """Client-side ground truth for soak-mode consistency auditing.
 
     Tracks, per base version the harness published, the ordered mutation
     list applied to it; rebuilds any ``name@vN+k`` generation on demand
     and recomputes subspace skylines independently of the server's cube.
+    The crash-recovery tests reuse it as the offline rebuild of
+    "dataset + WAL": a replayed server generation must answer exactly
+    what :meth:`expected_skyline` computes for its ``cube_version``.
     """
 
     def __init__(self, base: Dataset):
@@ -157,6 +177,7 @@ class _Oracle:
         self._ops: dict[str, list[tuple]] = {}
 
     def register_base(self, cube_version: str) -> None:
+        """Start tracking mutations applied on top of ``cube_version``."""
         with self._lock:
             self._ops.setdefault(cube_version, [])
 
@@ -178,6 +199,7 @@ class _Oracle:
                 del self._ops[base]
 
     def knows(self, cube_version: str) -> bool:
+        """Whether this generation's base was published by the harness."""
         base = cube_version.partition("+")[0]
         with self._lock:
             return base in self._ops
@@ -204,9 +226,14 @@ class _Oracle:
         )
 
     def expected_skyline(self, cube_version: str, subspace: str) -> list[str]:
+        """Sorted skyline labels recomputed independently of the server."""
         dataset = self.dataset_at(cube_version)
         mask = dataset.parse_subspace(subspace)
         return sorted(dataset.labels[i] for i in compute_skyline(dataset, mask))
+
+
+#: Backwards-compatible private alias (pre-durability name).
+_Oracle = ConsistencyOracle
 
 
 def _http_json(
@@ -247,22 +274,37 @@ class _Runner:
         dataset: Dataset,
         config: LoadtestConfig,
         csv_text: str | None,
+        restart: Callable[[], None] | None = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.dataset = dataset
         self.config = config
         self.csv_text = csv_text
+        #: Kills and restarts the server behind ``base_url`` (durability
+        #: drill); invoked every ``restart_interval`` seconds when set.
+        self.restart = restart
         self.mix = WorkloadMix(dataset, zipf_s=config.zipf_s)
         self.records: list[RequestRecord] = []
         self._records_lock = threading.Lock()
-        self.oracle = _Oracle(dataset)
+        self.oracle = ConsistencyOracle(dataset)
         #: (cube_version, subspace) -> first observed skyline result; a
         #: later different observation is a read inconsistency even
         #: without the full oracle.
         self._seen: dict[tuple[str, str], tuple] = {}
         self.read_inconsistencies: list[dict] = []
-        self.churn_stats = {"inserts": 0, "deletes": 0, "publishes": 0}
+        self.churn_stats = {
+            "inserts": 0,
+            "deletes": 0,
+            "publishes": 0,
+            "restarts": 0,
+        }
         self.churn_errors: list[str] = []
+        #: Post-restart probes whose replayed mutation count regressed
+        #: below the last acknowledged one (lost durable writes).
+        self.durability_violations: list[dict] = []
+        #: Last cube_version an acknowledged mutation produced (written by
+        #: the single churn thread, read by the restart thread).
+        self._last_acked_version = ""
         #: Client half of the request-correlation layer (None when the run
         #: is untraced).  Default thresholds match the server's sink so the
         #: deterministic hash keeps the same baseline traces on both sides.
@@ -456,6 +498,7 @@ class _Runner:
                             self.oracle.record_mutation(
                                 ack["cube_version"], ("insert", row, label)
                             )
+                            self._last_acked_version = ack["cube_version"]
                             self.churn_stats["inserts"] += 1
                             pending_delete = label
                         else:
@@ -471,6 +514,7 @@ class _Runner:
                                 ack["cube_version"],
                                 ("delete", pending_delete),
                             )
+                            self._last_acked_version = ack["cube_version"]
                             self.churn_stats["deletes"] += 1
                         else:
                             self.churn_errors.append(f"delete {status}: {ack}")
@@ -491,6 +535,53 @@ class _Runner:
                     last_publish = time.perf_counter()
                 except (RuntimeError, URLError, OSError) as exc:
                     self.churn_errors.append(repr(exc))
+
+    # -- kill-and-restart durability drill ---------------------------------
+
+    def _restart_loop(self, stop: threading.Event) -> None:
+        """Periodically kill + restart the server, then probe durability."""
+        assert self.restart is not None
+        while not stop.wait(self.config.restart_interval):
+            try:
+                self.restart()
+            except Exception as exc:  # restart hook is caller-supplied
+                self.churn_errors.append(f"restart: {exc!r}")
+                continue
+            self.churn_stats["restarts"] += 1
+            self._durability_probe()
+
+    def _durability_probe(self) -> None:
+        """The replayed generation must not lose acknowledged mutations.
+
+        Compares the ``cube_version`` a fresh query reports against the
+        last mutation acknowledgement: same base version with a *smaller*
+        mutation count means durable (fsync-acknowledged) writes vanished
+        in the restart.  A different base (concurrent publish/compaction)
+        is not comparable and is skipped; the post-run skyline audit still
+        verifies those generations' contents.
+        """
+        expected = self._last_acked_version
+        if not expected:
+            return
+        params = {"subspace": self.dataset.names[0]}
+        if self.config.snapshot:
+            params["snapshot"] = self.config.snapshot
+        url = f"{self.base_url}/v1/skyline?{urlencode(params)}"
+        try:
+            status, payload = self._traced_http("/v1/skyline", url)
+        except (URLError, OSError) as exc:
+            self.churn_errors.append(f"durability probe: {exc!r}")
+            return
+        if status != 200:
+            self.churn_errors.append(f"durability probe {status}: {payload}")
+            return
+        replayed = str(payload.get("cube_version", ""))
+        exp_base, _, exp_k = expected.partition("+")
+        got_base, _, got_k = replayed.partition("+")
+        if got_base == exp_base and int(got_k or 0) < int(exp_k or 0):
+            self.durability_violations.append(
+                {"acknowledged": expected, "replayed": replayed}
+            )
 
     # -- verification ------------------------------------------------------
 
@@ -523,6 +614,7 @@ class _Runner:
             "unverified_versions": sorted(unverified),
             "violations": violations,
             "read_inconsistencies": list(self.read_inconsistencies),
+            "durability_violations": list(self.durability_violations),
             "churn_errors": list(self.churn_errors),
         }
 
@@ -617,6 +709,15 @@ class _Runner:
                 daemon=True,
             )
             churn_thread.start()
+        restart_thread = None
+        if config.restart_interval and self.restart is not None:
+            restart_thread = threading.Thread(
+                target=self._restart_loop,
+                args=(stop,),
+                name="repro-loadtest-restart",
+                daemon=True,
+            )
+            restart_thread.start()
         # Sample the SLO engine a few times during the run so windowed
         # burn rates have history even for short runs.
         sampler_stop = threading.Event()
@@ -655,6 +756,8 @@ class _Runner:
         sampler_stop.set()
         if churn_thread is not None:
             churn_thread.join(timeout=30)
+        if restart_thread is not None:
+            restart_thread.join(timeout=30)
         sampler.join(timeout=10)
         wall = time.perf_counter() - start
         report = self.engine.sample()
@@ -686,6 +789,7 @@ def run_loadtest(
     dataset: Dataset,
     config: LoadtestConfig | None = None,
     csv_text: str | None = None,
+    restart: Callable[[], None] | None = None,
 ) -> LoadtestResult:
     """Run one open-loop load test against a live serving endpoint.
 
@@ -695,5 +799,17 @@ def run_loadtest(
     active generation), drives the configured maintenance churn, and
     audits every observed ``(cube_version, subspace)`` skyline against an
     independently recomputed oracle after the run.
+
+    ``restart`` (with ``config.restart_interval > 0``) adds the
+    kill-and-restart durability drill: the callable must tear down the
+    server behind ``base_url`` -- discarding all in-memory state -- and
+    bring a fresh one up on the same address and snapshot store.  After
+    each restart the harness probes that WAL replay restored at least the
+    last acknowledged mutation count; a regression is reported as a
+    ``durability_violation`` and fails the run like any other
+    consistency violation.
     """
-    return _Runner(base_url, dataset, config or LoadtestConfig(), csv_text).run()
+    runner = _Runner(
+        base_url, dataset, config or LoadtestConfig(), csv_text, restart=restart
+    )
+    return runner.run()

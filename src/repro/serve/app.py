@@ -16,17 +16,28 @@ production-shaped unit:
 The HTTP layer is a thin JSON façade over the service on the stdlib
 :class:`~http.server.ThreadingHTTPServer` (no third-party dependency):
 ``/v1/skyline``, ``/v1/where-wins``, ``/v1/wins-in``, ``/v1/why-not``,
-``/v1/signature``, ``/v1/top-frequent``, ``/v1/explain``,
-``/v1/snapshots`` (list/publish/activate), ``/v1/maintenance``
-(insert/delete), plus the ``/metrics`` and ``/healthz`` documents of
+``/v1/signature``, ``/v1/top-frequent``, ``/v1/explain``, ``/v1/diff``
+(temporal cube diff across published versions), ``/v1/snapshots``
+(list/publish/activate), ``/v1/maintenance`` (insert/delete/compact),
+plus the ``/metrics`` and ``/healthz`` documents of
 :mod:`repro.obs.promexport`.  Every response echoes the ``cube_version``
 that produced it, so clients (and the concurrency tests) can pin results
 to cube generations.
+
+Mutations are durable when ``wal_enabled`` (the default): each one is
+appended + fsync'd to the active version's WAL segment (:mod:`repro.wal`)
+*before* it is applied, and a restart replays the segment through
+:meth:`~repro.cube.maintenance.MaintainedCube.adopt` -- so a SIGKILL loses
+at most the request that had not yet been acknowledged.  A non-zero
+``compact_threshold`` folds the segment into a freshly published snapshot
+version once its depth reaches the threshold (LSM-style compaction; also
+available on demand via ``POST /v1/maintenance/compact``).
 """
 
 from __future__ import annotations
 
 import json
+import re
 import tempfile
 import threading
 import time
@@ -38,9 +49,11 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..core.types import Dataset
 from ..cube.compressed import CompressedSkylineCube
+from ..cube.diff import diff_cubes
 from ..cube.maintenance import MaintainedCube
 from ..cube.query import QueryEngine
 from ..data.io import load_csv
+from ..wal import WalWriter, apply_records, recover_segment, retire_segment, wal_path
 from ..obs.context import (
     TRACE_ID_HEADER,
     TRACEPARENT_HEADER,
@@ -75,6 +88,12 @@ _SWAPS = registry().counter("serve.snapshot.swaps")
 _ACTIVATE_SECONDS = registry().histogram("serve.snapshot.activate.seconds")
 _INSERTS = registry().counter("serve.maintenance.inserts")
 _DELETES = registry().counter("serve.maintenance.deletes")
+#: Pending WAL records not yet folded into a published snapshot (depth of
+#: the active segment); drops to 0 on compaction.
+_WAL_LAG = registry().gauge("serve.wal.lag")
+_COMPACTIONS = registry().counter("serve.wal.compactions")
+_DIFF_REQUESTS = registry().counter("serve.diff.requests")
+_DIFF_SECONDS = registry().histogram("serve.diff.seconds")
 #: Deadline budget left when the request finished: the headroom signal the
 #: SLO layer watches (shrinking remaining time predicts timeout sheds).
 _DEADLINE_REMAINING = registry().histogram("serve.deadline.remaining_seconds")
@@ -96,6 +115,11 @@ def _kind_seconds(kind: str):
 
 class UnknownSnapshotError(LookupError):
     """The requested snapshot name has no loadable active version."""
+
+
+#: Published version names; mirrors the store's naming so ``/v1/diff``
+#: can reject malformed version parameters before touching the disk.
+_VERSION_RE = re.compile(r"^v\d{6}$")
 
 
 @dataclass(frozen=True)
@@ -228,7 +252,13 @@ class CubeService:
         default_snapshot: str | None = None,
         reload_interval: float = 0.5,
         trace_sink: TraceSink | None = None,
+        wal_enabled: bool = True,
+        compact_threshold: int = 0,
     ):
+        if compact_threshold < 0:
+            raise ValueError(
+                f"compact_threshold must be >= 0, got {compact_threshold}"
+            )
         self.store = store
         self.cache = cache if cache is not None else ResultCache()
         self.admission = (
@@ -240,10 +270,18 @@ class CubeService:
         #: (requests still run under a per-request trace context so the
         #: echoed ``x-repro-trace-id`` header is always present).
         self.trace_sink = trace_sink
+        #: Write-ahead logging of maintenance mutations (see module doc).
+        self.wal_enabled = wal_enabled
+        #: Auto-compact once the active WAL segment holds this many
+        #: records; 0 disables the trigger (``repro compact`` still works).
+        self.compact_threshold = compact_threshold
         self._lock = threading.Lock()
         self._states: dict[str, _Serving] = {}
         self._checked: dict[str, float] = {}
         self._name_locks: dict[str, threading.RLock] = {}
+        #: name -> open appender over that snapshot's *active* segment;
+        #: rotated when the base version moves, mutated under the name lock.
+        self._wals: dict[str, WalWriter] = {}
 
     # -- queries -----------------------------------------------------------
 
@@ -324,14 +362,23 @@ class CubeService:
         label: str | None = None,
         snapshot: str | None = None,
     ) -> dict:
-        """Insert one object into the served cube; invalidates the cache."""
+        """Insert one object into the served cube; invalidates the cache.
+
+        With WAL enabled the mutation is validated, durably logged, and
+        only then applied -- an invalid request (duplicate label, wrong
+        row width) touches neither the log nor the mutation counter.
+        """
         name = self._resolve_name(snapshot)
+        values = [float(v) for v in row]
         with self._name_lock(name):
             state = self._state(name)
             maintained = state.maintained or MaintainedCube.adopt(state.cube)
-            fast = maintained.insert([float(v) for v in row], label=label)
+            maintained.check_insert(values, label)
+            self._wal_append(state, "insert", label=label, row=values)
+            fast = maintained.insert(values, label=label)
             new_state = self._mutated(state, maintained)
             _INSERTS.inc()
+            new_state = self._maybe_compact(new_state)
         return self._mutation_envelope(new_state, fast, "insert")
 
     def maintenance_delete(
@@ -342,9 +389,12 @@ class CubeService:
         with self._name_lock(name):
             state = self._state(name)
             maintained = state.maintained or MaintainedCube.adopt(state.cube)
+            maintained.check_delete(label)
+            self._wal_append(state, "delete", label=label)
             fast = maintained.delete(label)
             new_state = self._mutated(state, maintained)
             _DELETES.inc()
+            new_state = self._maybe_compact(new_state)
         return self._mutation_envelope(new_state, fast, "delete")
 
     def _mutated(
@@ -384,6 +434,176 @@ class CubeService:
             "n_objects": state.dataset.n_objects,
             "n_groups": len(state.cube.groups),
         }
+
+    # -- durability (WAL + compaction) -------------------------------------
+
+    def _wal_append(
+        self,
+        state: _Serving,
+        op: str,
+        *,
+        label: str | None = None,
+        row: list[float] | None = None,
+    ) -> None:
+        """Durably log one validated mutation before it is applied."""
+        if not self.wal_enabled:
+            return
+        writer = self._wal_for(state.name, state.base_version)
+        writer.append(op, label=label, row=row)
+        _WAL_LAG.set(writer.count)
+
+    def _wal_for(self, name: str, base_version: str) -> WalWriter:
+        """The appender over ``name``'s active segment (caller holds the
+        name lock); rotated when the base version moves."""
+        expected = wal_path(self.store.root, name, base_version)
+        writer = self._wals.get(name)
+        if writer is None or writer.path != expected:
+            if writer is not None:
+                writer.close()
+            writer = self._wals[name] = WalWriter(expected)
+        return writer
+
+    def compact(self, snapshot: str | None = None) -> dict:
+        """Fold pending mutations into a freshly published version.
+
+        A no-op (``compacted: false``) when the serving state carries no
+        mutations; otherwise the in-memory dataset/cube are published as
+        the next version, the WAL segment is retired, and serving swaps
+        to the new base with zero mutations -- same contract as the
+        offline :func:`repro.wal.compact_snapshot`.
+        """
+        name = self._resolve_name(snapshot)
+        with self._name_lock(name):
+            state = self._state(name)
+            new_state, info = self._compact_locked(state)
+        out = {
+            "snapshot": name,
+            "compacted": info is not None,
+            "cube_version": new_state.cube_version,
+            "new_version": info.version if info else None,
+        }
+        if info is not None:
+            out["fingerprint"] = info.fingerprint
+        return out
+
+    def _maybe_compact(self, state: _Serving) -> _Serving:
+        """Auto-trigger: compact once the segment depth hits the threshold."""
+        if not self.wal_enabled or self.compact_threshold <= 0:
+            return state
+        writer = self._wals.get(state.name)
+        if writer is None or writer.count < self.compact_threshold:
+            return state
+        new_state, _ = self._compact_locked(state)
+        return new_state
+
+    def _compact_locked(
+        self, state: _Serving
+    ) -> tuple[_Serving, SnapshotInfo | None]:
+        """Publish the live state as the next version; retire the segment.
+
+        Caller holds the name lock.  Publishing directly from the live
+        maintained state is equivalent to replay-then-publish (replaying
+        the segment reproduces exactly this state, see :mod:`repro.wal`)
+        but skips the redundant replay.
+        """
+        if state.mutations == 0:
+            return state, None
+        info = self.store.publish(
+            state.name,
+            state.dataset,
+            state.cube,
+            algorithm=state.info.algorithm,
+            activate=True,
+        )
+        writer = self._wals.pop(state.name, None)
+        if writer is not None:
+            writer.close()
+        retire_segment(wal_path(self.store.root, state.name, state.base_version))
+        _WAL_LAG.set(0)
+        _COMPACTIONS.inc()
+        new_state = _Serving(
+            name=state.name,
+            base_version=info.version,
+            mutations=0,
+            dataset=state.dataset,
+            cube=state.cube,
+            engine=state.engine,
+            maintained=state.maintained,
+            info=info,
+            activated_at=time.monotonic(),
+        )
+        with self._lock:
+            self._states[state.name] = new_state
+            # The pointer we just wrote is the version we now serve; no
+            # reload check needed until the interval elapses again.
+            self._checked[state.name] = time.monotonic()
+        self.cache.invalidate(state.cube_version)
+        _LOG.info(
+            "serve.compacted",
+            extra={
+                "snapshot": state.name,
+                "from_version": state.cube_version,
+                "new_version": info.version,
+            },
+        )
+        return new_state, info
+
+    def close(self) -> None:
+        """Release WAL file handles (tests and embedders; idempotent)."""
+        with self._lock:
+            writers = list(self._wals.values())
+            self._wals.clear()
+        for writer in writers:
+            writer.close()
+
+    # -- temporal diff -----------------------------------------------------
+
+    def diff(
+        self,
+        from_version: str,
+        to_version: str,
+        snapshot: str | None = None,
+        top: int = 10,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Diff two *published* versions of one snapshot name.
+
+        Published versions are immutable, so the result is cached under
+        the version pair (plus ``top``) and never needs invalidation.
+        """
+        name = self._resolve_name(snapshot)
+        for version in (from_version, to_version):
+            if not _VERSION_RE.match(version):
+                raise ValueError(
+                    f"bad version {version!r} (expected vNNNNNN)"
+                )
+        if top <= 0:
+            raise ValueError(f"top must be positive, got {top}")
+        deadline = self.admission.deadline(deadline_ms)
+        with self.admission.admit(deadline):
+            t0 = time.perf_counter()
+            with span("serve.diff", snapshot=name) as sp:
+                key = (f"{name}@{from_version}..{to_version}", "diff", (top,))
+                result, cached = self.cache.get(key)
+                if not cached:
+                    if deadline.expired:
+                        raise DeadlineExceededError(deadline)
+                    _, old_cube, _ = self.store.load(name, from_version)
+                    _, new_cube, _ = self.store.load(name, to_version)
+                    result = diff_cubes(old_cube, new_cube).to_dict(top=top)
+                    self.cache.put(key, result)
+                seconds = time.perf_counter() - t0
+                sp.annotate(cached=cached)
+            _DIFF_REQUESTS.inc()
+            _DIFF_SECONDS.observe(seconds)
+            return {
+                "snapshot": name,
+                "from": from_version,
+                "to": to_version,
+                "cached": cached,
+                "seconds": seconds,
+                "diff": result,
+            }
 
     # -- snapshot management ----------------------------------------------
 
@@ -460,9 +680,23 @@ class CubeService:
         with self._lock:
             states = dict(self._states)
             checked = dict(self._checked)
+            wals = dict(self._wals)
         snapshots = {}
         for name, state in states.items():
             checked_at = checked.get(name)
+            wal_depth = None
+            wal_staleness = None
+            if self.wal_enabled:
+                wal_depth = 0
+                writer = wals.get(name)
+                if writer is not None and writer.path == wal_path(
+                    self.store.root, name, state.base_version
+                ):
+                    wal_depth = writer.count
+                    if writer.first_ts is not None:
+                        wal_staleness = round(
+                            time.time() - writer.first_ts, 3
+                        )
             snapshots[name] = {
                 "cube_version": state.cube_version,
                 "base_version": state.base_version,
@@ -473,6 +707,10 @@ class CubeService:
                     if checked_at is not None
                     else None
                 ),
+                # Pending (uncompacted) WAL records and the age of the
+                # oldest one; both None while WAL is disabled.
+                "wal_depth": wal_depth,
+                "wal_staleness_seconds": wal_staleness,
             }
         return {
             "status": "ok",
@@ -554,14 +792,38 @@ class CubeService:
             if state is None or state.base_version != current:
                 activate_t0 = time.perf_counter()
                 dataset, cube, info = self.store.load(name, current)
+                maintained = None
+                mutations = 0
+                if self.wal_enabled:
+                    # Replay this generation's WAL segment: mutations that
+                    # were acknowledged before a crash/restart come back.
+                    records = recover_segment(
+                        wal_path(self.store.root, name, current)
+                    )
+                    if records:
+                        maintained = MaintainedCube.adopt(cube)
+                        applied, skipped = apply_records(maintained, records)
+                        dataset, cube = maintained.dataset, maintained.cube
+                        mutations = applied
+                        _LOG.info(
+                            "serve.wal_replayed",
+                            extra={
+                                "snapshot": name,
+                                "version": current,
+                                "applied": applied,
+                                "skipped": skipped,
+                            },
+                        )
+                    writer = self._wal_for(name, current)
+                    _WAL_LAG.set(writer.count)
                 new_state = _Serving(
                     name=name,
                     base_version=current,
-                    mutations=0,
+                    mutations=mutations,
                     dataset=dataset,
                     cube=cube,
                     engine=QueryEngine(cube),
-                    maintained=None,
+                    maintained=maintained,
                     info=info,
                     activated_at=time.monotonic(),
                 )
@@ -688,6 +950,31 @@ class CubeService:
                 return self.health()
             if path == "/v1/snapshots":
                 return self.snapshots_overview()
+            if path == "/v1/diff":
+                params = {
+                    key: values[0] for key, values in query.items()
+                }
+                deadline_ms = None
+                if "deadline_ms" in params:
+                    try:
+                        deadline_ms = float(params.pop("deadline_ms"))
+                    except ValueError:
+                        raise ValueError(
+                            "deadline_ms must be a number"
+                        ) from None
+                top = 10
+                if "top" in params:
+                    try:
+                        top = int(params.pop("top"))
+                    except ValueError:
+                        raise ValueError("top must be an integer") from None
+                return self.diff(
+                    _require(params, "from"),
+                    _require(params, "to"),
+                    snapshot=params.get("snapshot"),
+                    top=top,
+                    deadline_ms=deadline_ms,
+                )
             kind = self.GET_QUERIES.get(path)
             if kind is None:
                 raise UnknownSnapshotError(f"no such endpoint: {path}")
@@ -735,6 +1022,8 @@ class CubeService:
                 return self.maintenance_delete(
                     _require(body, "label"), snapshot=body.get("snapshot")
                 )
+            if path == "/v1/maintenance/compact":
+                return self.compact(snapshot=body.get("snapshot"))
         raise UnknownSnapshotError(f"no such endpoint: {method} {path}")
 
 

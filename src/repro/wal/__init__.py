@@ -1,0 +1,40 @@
+"""Write-ahead logging for served cube mutations.
+
+The serving layer's maintenance endpoints (``/v1/maintenance/insert`` and
+``/v1/maintenance/delete``) mutate an in-memory
+:class:`~repro.cube.maintenance.MaintainedCube`.  Without a log those
+mutations die with the process; this package makes them durable:
+
+* :mod:`repro.wal.log` -- append-only, fsync'd, CRC-framed NDJSON segments,
+  one per snapshot generation (``<root>/<name>/wal/vNNNNNN.wal``), with a
+  torn-tail-tolerant reader and a deterministic replay routine;
+* :mod:`repro.wal.compact` -- LSM-style compaction that folds a segment
+  into a freshly published snapshot version and retires the segment.
+"""
+
+from .compact import CompactionResult, compact_snapshot
+from .log import (
+    SegmentScan,
+    WalRecord,
+    WalWriter,
+    apply_records,
+    encode_record,
+    read_segment,
+    recover_segment,
+    retire_segment,
+    wal_path,
+)
+
+__all__ = [
+    "CompactionResult",
+    "SegmentScan",
+    "WalRecord",
+    "WalWriter",
+    "apply_records",
+    "compact_snapshot",
+    "encode_record",
+    "read_segment",
+    "recover_segment",
+    "retire_segment",
+    "wal_path",
+]

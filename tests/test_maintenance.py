@@ -83,6 +83,73 @@ class TestDelete:
         assert len(mc.stats.history) == 2
 
 
+class TestMutationValidation:
+    """Rejected mutations must leave cube, stats, and labels untouched.
+
+    The WAL layer relies on ``check_insert``/``check_delete`` raising
+    *before* anything is logged or applied, so a refused update is
+    invisible everywhere.
+    """
+
+    def test_check_insert_duplicate_label(self, running_example):
+        mc = MaintainedCube(running_example)
+        with pytest.raises(ValueError, match="duplicate object label"):
+            mc.check_insert([1, 1, 1, 1], label="P1")
+
+    def test_check_insert_wrong_width(self, running_example):
+        mc = MaintainedCube(running_example)
+        with pytest.raises(ValueError, match="dimensions"):
+            mc.check_insert([1, 2])
+
+    def test_check_delete_unknown_label(self, running_example):
+        mc = MaintainedCube(running_example)
+        with pytest.raises(ValueError, match="unknown object label"):
+            mc.check_delete("P99")
+
+    def test_failed_delete_leaves_stats_untouched(self, running_example):
+        mc = MaintainedCube(running_example)
+        before = cube_state(mc.cube)
+        with pytest.raises(ValueError):
+            mc.delete("P99")
+        assert mc.stats.total == 0
+        assert mc.stats.history == []
+        assert cube_state(mc.cube) == before
+        assert mc.dataset.labels == running_example.labels
+
+    def test_failed_insert_leaves_stats_untouched(self, running_example):
+        mc = MaintainedCube(running_example)
+        before = cube_state(mc.cube)
+        with pytest.raises(ValueError):
+            mc.insert([1, 2])  # wrong width
+        assert mc.stats.total == 0
+        assert cube_state(mc.cube) == before
+        assert mc.dataset.n_objects == running_example.n_objects
+
+    def test_insert_delete_insert_round_trip(self, running_example):
+        """Re-inserting a deleted row converges to the fresh build."""
+        row = [1, 5, 8, 2]
+        mc = MaintainedCube(running_example)
+        mc.insert(row, label="X")
+        mc.delete("X")
+        mc.insert(row, label="X")
+        fresh = MaintainedCube(running_example)
+        fresh.insert(row, label="X")
+        assert mc.dataset.labels == fresh.dataset.labels
+        assert cube_state(mc.cube) == cube_state(fresh.cube)
+        assert sorted(mc.seeds) == sorted(fresh.seeds)
+        # And both equal a from-scratch recompute on the final dataset.
+        assert cube_state(mc.cube) == sorted(
+            (g.key, g.decisive) for g in stellar(mc.dataset).groups
+        )
+
+    def test_delete_after_delete_of_same_label(self, running_example):
+        mc = MaintainedCube(running_example)
+        mc.delete("P1")
+        with pytest.raises(ValueError, match="unknown object label"):
+            mc.delete("P1")
+        assert mc.stats.total == 1
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     st.lists(
